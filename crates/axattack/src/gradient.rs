@@ -1,0 +1,310 @@
+//! Gradient-based attacks: FGM, BIM and PGD.
+//!
+//! All three ascend the cross-entropy loss of the *accurate float model*
+//! under an eps-budget in their norm. BIM iterates FGM with per-step
+//! projection; PGD additionally starts from a random point inside the
+//! ball (Madry et al.), which is why BIM and PGD behave near-identically
+//! in the paper's figures while FGM is visibly weaker.
+
+use axnn::Sequential;
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+use crate::norms::{normalized, project_to_ball, Norm};
+use crate::Attack;
+
+/// Fast Gradient Method (single step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fgm {
+    norm: Norm,
+}
+
+impl Fgm {
+    /// Creates an FGM attack under the given norm.
+    pub fn new(norm: Norm) -> Self {
+        Fgm { norm }
+    }
+}
+
+impl Attack for Fgm {
+    fn name(&self) -> String {
+        format!("FGM-{}", self.norm)
+    }
+
+    fn craft(
+        &self,
+        model: &Sequential,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        _rng: &mut Rng,
+    ) -> Tensor {
+        assert!(eps >= 0.0, "negative budget");
+        if eps == 0.0 {
+            return x.clone();
+        }
+        let (_, grad) = model.input_gradient(x, label);
+        let step = match self.norm {
+            Norm::Linf => grad.map(f32::signum),
+            Norm::L2 => normalized(&grad, Norm::L2),
+        };
+        let mut adv = x.clone();
+        adv.add_scaled(&step, eps);
+        project_to_ball(&adv, x, eps, self.norm)
+    }
+}
+
+/// Basic Iterative Method: FGM iterated with projection, no random start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bim {
+    norm: Norm,
+    steps: usize,
+}
+
+impl Bim {
+    /// Creates a BIM attack with the default 10 steps.
+    pub fn new(norm: Norm) -> Self {
+        Bim { norm, steps: 10 }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0);
+        self.steps = steps;
+        self
+    }
+}
+
+impl Attack for Bim {
+    fn name(&self) -> String {
+        format!("BIM-{}", self.norm)
+    }
+
+    fn craft(
+        &self,
+        model: &Sequential,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        _rng: &mut Rng,
+    ) -> Tensor {
+        iterate(model, x, label, eps, self.norm, self.steps, None)
+    }
+}
+
+/// Projected Gradient Descent: BIM with a uniformly random start inside
+/// the eps-ball.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pgd {
+    norm: Norm,
+    steps: usize,
+}
+
+impl Pgd {
+    /// Creates a PGD attack with the default 10 steps.
+    pub fn new(norm: Norm) -> Self {
+        Pgd { norm, steps: 10 }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0);
+        self.steps = steps;
+        self
+    }
+}
+
+impl Attack for Pgd {
+    fn name(&self) -> String {
+        format!("PGD-{}", self.norm)
+    }
+
+    fn craft(
+        &self,
+        model: &Sequential,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        rng: &mut Rng,
+    ) -> Tensor {
+        iterate(model, x, label, eps, self.norm, self.steps, Some(rng))
+    }
+}
+
+/// Shared BIM/PGD loop. `random_start` enables the PGD initialization.
+fn iterate(
+    model: &Sequential,
+    x: &Tensor,
+    label: usize,
+    eps: f32,
+    norm: Norm,
+    steps: usize,
+    random_start: Option<&mut Rng>,
+) -> Tensor {
+    assert!(eps >= 0.0, "negative budget");
+    if eps == 0.0 {
+        return x.clone();
+    }
+    // Madry et al.'s step-size heuristic keeps the iterate mobile inside
+    // the ball without overshooting.
+    let alpha = 2.5 * eps / steps as f32;
+    let mut adv = match random_start {
+        Some(rng) => {
+            let mut noise = Tensor::zeros(x.dims());
+            match norm {
+                Norm::Linf => rng.fill_range_f32(noise.data_mut(), -eps, eps),
+                Norm::L2 => {
+                    rng.fill_normal_f32(noise.data_mut(), 1.0);
+                    let scale = rng.next_f32();
+                    noise = normalized(&noise, Norm::L2).scaled(eps * scale);
+                }
+            }
+            project_to_ball(&x.add(&noise), x, eps, norm)
+        }
+        None => x.clone(),
+    };
+    for _ in 0..steps {
+        let (_, grad) = model.input_gradient(&adv, label);
+        let step = match norm {
+            Norm::Linf => grad.map(f32::signum),
+            Norm::L2 => normalized(&grad, Norm::L2),
+        };
+        adv.add_scaled(&step, alpha);
+        adv = project_to_ball(&adv, x, eps, norm);
+    }
+    adv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn::layer::{Dense, Layer};
+    use axnn::loss::cross_entropy;
+
+    fn toy_model(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from_u64(seed);
+        Sequential::new(
+            "toy",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(16, 12, &mut rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(12, 3, &mut rng)),
+            ],
+        )
+    }
+
+    fn toy_input(seed: u64) -> Tensor {
+        let mut t = Tensor::zeros(&[1, 4, 4]);
+        Rng::seed_from_u64(seed).fill_range_f32(t.data_mut(), 0.2, 0.8);
+        t
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let model = toy_model(1);
+        let x = toy_input(2);
+        let mut rng = Rng::seed_from_u64(3);
+        for eps in [0.05f32, 0.2, 1.0] {
+            for attack in [
+                &Fgm::new(Norm::Linf) as &dyn Attack,
+                &Fgm::new(Norm::L2),
+                &Bim::new(Norm::Linf),
+                &Bim::new(Norm::L2),
+                &Pgd::new(Norm::Linf),
+                &Pgd::new(Norm::L2),
+            ] {
+                let adv = attack.craft(&model, &x, 0, eps, &mut rng);
+                let norm = if attack.name().ends_with("linf") {
+                    Norm::Linf
+                } else {
+                    Norm::L2
+                };
+                let d = norm.dist(&adv, &x);
+                assert!(d <= eps + 1e-4, "{} at eps {eps}: dist {d}", attack.name());
+                assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_eps_returns_input() {
+        let model = toy_model(4);
+        let x = toy_input(5);
+        let mut rng = Rng::seed_from_u64(6);
+        for attack in [
+            &Fgm::new(Norm::Linf) as &dyn Attack,
+            &Bim::new(Norm::L2),
+            &Pgd::new(Norm::Linf),
+        ] {
+            assert_eq!(attack.craft(&model, &x, 1, 0.0, &mut rng), x);
+        }
+    }
+
+    #[test]
+    fn fgm_increases_loss() {
+        let model = toy_model(7);
+        let x = toy_input(8);
+        let label = model.predict(&x);
+        let mut rng = Rng::seed_from_u64(9);
+        let adv = Fgm::new(Norm::Linf).craft(&model, &x, label, 0.1, &mut rng);
+        let l0 = cross_entropy(&model.forward(&x), label);
+        let l1 = cross_entropy(&model.forward(&adv), label);
+        assert!(l1 > l0, "FGM must increase loss: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn bim_at_least_matches_fgm_loss() {
+        let model = toy_model(10);
+        let x = toy_input(11);
+        let label = model.predict(&x);
+        let mut rng = Rng::seed_from_u64(12);
+        let eps = 0.15;
+        let fgm = Fgm::new(Norm::Linf).craft(&model, &x, label, eps, &mut rng);
+        let bim = Bim::new(Norm::Linf).craft(&model, &x, label, eps, &mut rng);
+        let lf = cross_entropy(&model.forward(&fgm), label);
+        let lb = cross_entropy(&model.forward(&bim), label);
+        assert!(
+            lb >= lf * 0.9,
+            "iterated attack should be at least comparable: fgm {lf}, bim {lb}"
+        );
+    }
+
+    #[test]
+    fn fgm_moves_along_gradient_sign() {
+        let model = toy_model(13);
+        let x = toy_input(14);
+        let (_, g) = model.input_gradient(&x, 2);
+        let mut rng = Rng::seed_from_u64(15);
+        let adv = Fgm::new(Norm::Linf).craft(&model, &x, 2, 0.05, &mut rng);
+        let delta = adv.sub(&x);
+        // Wherever the pixel was not clipped at the box, the move must
+        // match the gradient sign.
+        let mut checked = 0;
+        for i in 0..x.len() {
+            let xv = x.data()[i];
+            let dv = delta.data()[i];
+            let gv = g.data()[i];
+            if gv.abs() > 1e-6 && xv > 0.06 && xv < 0.94 {
+                assert_eq!(dv.signum(), gv.signum(), "pixel {i}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "too few testable pixels");
+    }
+
+    #[test]
+    fn pgd_is_deterministic_given_rng_seed() {
+        let model = toy_model(16);
+        let x = toy_input(17);
+        let a = Pgd::new(Norm::Linf).craft(&model, &x, 0, 0.1, &mut Rng::seed_from_u64(5));
+        let b = Pgd::new(Norm::Linf).craft(&model, &x, 0, 0.1, &mut Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_steps_validates() {
+        let b = Bim::new(Norm::L2).with_steps(3);
+        assert_eq!(b, Bim { norm: Norm::L2, steps: 3 });
+    }
+}

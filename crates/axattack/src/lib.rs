@@ -1,0 +1,62 @@
+//! Adversarial attacks — the Foolbox substitution.
+//!
+//! Implements the ten attack/norm combinations of the paper's Table I:
+//!
+//! | Attack | Type | Norms |
+//! |---|---|---|
+//! | Fast Gradient Method (FGM) | gradient | l2, linf |
+//! | Basic Iterative Method (BIM) | gradient | l2, linf |
+//! | Projected Gradient Descent (PGD) | gradient | l2, linf |
+//! | Contrast Reduction (CR) | decision | l2 |
+//! | Repeated Additive Gaussian (RAG) | decision | l2 |
+//! | Repeated Additive Uniform (RAU) | decision | l2, linf |
+//!
+//! All attacks follow the paper's threat model: they are crafted against
+//! the *accurate float model* (gradients and decisions come from
+//! [`axnn::Sequential`]), with the perturbation bounded by an explicit
+//! budget `eps` in the attack's norm and the result clipped to the valid
+//! pixel range `[0, 1]`. Victim AxDNNs never see the attack internals.
+//!
+//! # Examples
+//!
+//! ```
+//! use axattack::{suite::AttackId, Attack};
+//! use axnn::zoo;
+//! use axtensor::Tensor;
+//! use axutil::rng::Rng;
+//!
+//! let model = zoo::ffnn(&mut Rng::seed_from_u64(0));
+//! let x = Tensor::full(&[1, 28, 28], 0.4);
+//! let attack = AttackId::PgdLinf.build();
+//! let adv = attack.craft(&model, &x, 3, 0.1, &mut Rng::seed_from_u64(1));
+//! assert!(adv.linf_dist(&x) <= 0.1 + 1e-5);
+//! ```
+
+pub mod decision;
+pub mod gradient;
+pub mod norms;
+pub mod suite;
+
+use axnn::Sequential;
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+pub use norms::Norm;
+
+/// An adversarial attack against a float model.
+pub trait Attack: Sync {
+    /// A short display name (e.g. `"PGD-linf"`).
+    fn name(&self) -> String;
+
+    /// Crafts an adversarial example for `(x, label)` with perturbation
+    /// budget `eps` (in the attack's norm). The result is always inside
+    /// the valid pixel box `[0, 1]` and within the eps-ball around `x`.
+    fn craft(
+        &self,
+        model: &Sequential,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        rng: &mut Rng,
+    ) -> Tensor;
+}

@@ -1,0 +1,124 @@
+//! Perturbation norms and ball projections.
+
+use axtensor::Tensor;
+
+/// The distance metric bounding a perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Norm {
+    /// Euclidean norm.
+    L2,
+    /// Maximum-coordinate norm.
+    Linf,
+}
+
+impl std::fmt::Display for Norm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Norm::L2 => write!(f, "l2"),
+            Norm::Linf => write!(f, "linf"),
+        }
+    }
+}
+
+impl Norm {
+    /// Distance between two tensors in this norm.
+    pub fn dist(self, a: &Tensor, b: &Tensor) -> f32 {
+        match self {
+            Norm::L2 => a.l2_dist(b),
+            Norm::Linf => a.linf_dist(b),
+        }
+    }
+}
+
+/// Scales `dir` to unit length in the given norm. Zero directions are
+/// returned unchanged.
+pub fn normalized(dir: &Tensor, norm: Norm) -> Tensor {
+    let n = match norm {
+        Norm::L2 => dir.l2_norm(),
+        Norm::Linf => dir.linf_norm(),
+    };
+    if n <= 1e-12 {
+        dir.clone()
+    } else {
+        dir.scaled(1.0 / n)
+    }
+}
+
+/// Projects `x` onto the eps-ball (in `norm`) around `origin`, then clips
+/// to the pixel box `[0, 1]`.
+pub fn project_to_ball(x: &Tensor, origin: &Tensor, eps: f32, norm: Norm) -> Tensor {
+    let delta = x.sub(origin);
+    let delta = match norm {
+        Norm::Linf => delta.clamped(-eps, eps),
+        Norm::L2 => {
+            let n = delta.l2_norm();
+            if n > eps && n > 1e-12 {
+                delta.scaled(eps / n)
+            } else {
+                delta
+            }
+        }
+    };
+    origin.add(&delta).clamped(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axutil::rng::Rng;
+
+    fn rand_tensor(dims: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        Rng::seed_from_u64(seed).fill_range_f32(t.data_mut(), lo, hi);
+        t
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let d = rand_tensor(&[20], 1, -1.0, 1.0);
+        assert!((normalized(&d, Norm::L2).l2_norm() - 1.0).abs() < 1e-5);
+        assert!((normalized(&d, Norm::Linf).linf_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        let z = Tensor::zeros(&[5]);
+        assert_eq!(normalized(&z, Norm::L2), z);
+    }
+
+    #[test]
+    fn projection_enforces_linf_budget() {
+        let origin = rand_tensor(&[30], 2, 0.2, 0.8);
+        let x = rand_tensor(&[30], 3, -0.5, 1.5);
+        let p = project_to_ball(&x, &origin, 0.1, Norm::Linf);
+        assert!(p.linf_dist(&origin) <= 0.1 + 1e-6);
+        assert!(p.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn projection_enforces_l2_budget() {
+        let origin = rand_tensor(&[30], 4, 0.3, 0.7);
+        let x = rand_tensor(&[30], 5, -1.0, 2.0);
+        let p = project_to_ball(&x, &origin, 0.5, Norm::L2);
+        assert!(p.l2_dist(&origin) <= 0.5 + 1e-5);
+        assert!(p.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn projection_is_identity_inside_ball() {
+        let origin = Tensor::full(&[4], 0.5);
+        let x = Tensor::from_vec(vec![0.52, 0.48, 0.5, 0.51], &[4]);
+        let p = project_to_ball(&x, &origin, 0.1, Norm::Linf);
+        assert_eq!(p, x);
+    }
+
+    #[test]
+    fn norm_display_and_dist() {
+        assert_eq!(Norm::L2.to_string(), "l2");
+        assert_eq!(Norm::Linf.to_string(), "linf");
+        let a = Tensor::from_vec(vec![0.0, 3.0], &[2]);
+        let b = Tensor::from_vec(vec![4.0, 0.0], &[2]);
+        assert_eq!(Norm::L2.dist(&a, &b), 5.0);
+        assert_eq!(Norm::Linf.dist(&a, &b), 4.0);
+    }
+}

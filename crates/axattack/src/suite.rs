@@ -1,0 +1,187 @@
+//! The paper's ten attack/norm combinations (Table I).
+
+use crate::decision::{ContrastReduction, RepeatedAdditiveGaussian, RepeatedAdditiveUniform};
+use crate::gradient::{Bim, Fgm, Pgd};
+use crate::norms::Norm;
+use crate::Attack;
+
+/// Identifier for one of the ten attacks evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackId {
+    /// Fast Gradient Method, l2.
+    FgmL2,
+    /// Fast Gradient Method, linf.
+    FgmLinf,
+    /// Basic Iterative Method, l2.
+    BimL2,
+    /// Basic Iterative Method, linf.
+    BimLinf,
+    /// Projected Gradient Descent, l2.
+    PgdL2,
+    /// Projected Gradient Descent, linf.
+    PgdLinf,
+    /// Contrast Reduction, l2.
+    CrL2,
+    /// Repeated Additive Gaussian noise, l2.
+    RagL2,
+    /// Repeated Additive Uniform noise, l2.
+    RauL2,
+    /// Repeated Additive Uniform noise, linf.
+    RauLinf,
+}
+
+impl AttackId {
+    /// All ten attacks in the paper's Table I order.
+    pub const ALL: [AttackId; 10] = [
+        AttackId::FgmL2,
+        AttackId::FgmLinf,
+        AttackId::BimL2,
+        AttackId::BimLinf,
+        AttackId::PgdL2,
+        AttackId::PgdLinf,
+        AttackId::CrL2,
+        AttackId::RagL2,
+        AttackId::RauL2,
+        AttackId::RauLinf,
+    ];
+
+    /// The paper-style display name (e.g. `"BIM-linf"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackId::FgmL2 => "FGM-l2",
+            AttackId::FgmLinf => "FGM-linf",
+            AttackId::BimL2 => "BIM-l2",
+            AttackId::BimLinf => "BIM-linf",
+            AttackId::PgdL2 => "PGD-l2",
+            AttackId::PgdLinf => "PGD-linf",
+            AttackId::CrL2 => "CR-l2",
+            AttackId::RagL2 => "RAG-l2",
+            AttackId::RauL2 => "RAU-l2",
+            AttackId::RauLinf => "RAU-linf",
+        }
+    }
+
+    /// The perturbation norm.
+    pub fn norm(self) -> Norm {
+        match self {
+            AttackId::FgmLinf | AttackId::BimLinf | AttackId::PgdLinf | AttackId::RauLinf => {
+                Norm::Linf
+            }
+            _ => Norm::L2,
+        }
+    }
+
+    /// Whether the attack needs model gradients (Table I "gradient" type)
+    /// as opposed to decisions only.
+    pub fn is_gradient_based(self) -> bool {
+        matches!(
+            self,
+            AttackId::FgmL2
+                | AttackId::FgmLinf
+                | AttackId::BimL2
+                | AttackId::BimLinf
+                | AttackId::PgdL2
+                | AttackId::PgdLinf
+        )
+    }
+
+    /// Instantiates the attack with the paper-default settings
+    /// (10 iterations for BIM/PGD, 10 repetitions for RAG/RAU).
+    pub fn build(self) -> Box<dyn Attack> {
+        match self {
+            AttackId::FgmL2 => Box::new(Fgm::new(Norm::L2)),
+            AttackId::FgmLinf => Box::new(Fgm::new(Norm::Linf)),
+            AttackId::BimL2 => Box::new(Bim::new(Norm::L2)),
+            AttackId::BimLinf => Box::new(Bim::new(Norm::Linf)),
+            AttackId::PgdL2 => Box::new(Pgd::new(Norm::L2)),
+            AttackId::PgdLinf => Box::new(Pgd::new(Norm::Linf)),
+            AttackId::CrL2 => Box::new(ContrastReduction::new()),
+            AttackId::RagL2 => Box::new(RepeatedAdditiveGaussian::new()),
+            AttackId::RauL2 => Box::new(RepeatedAdditiveUniform::new(Norm::L2)),
+            AttackId::RauLinf => Box::new(RepeatedAdditiveUniform::new(Norm::Linf)),
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AttackId> {
+        let lower = name.to_ascii_lowercase();
+        Self::ALL
+            .into_iter()
+            .find(|id| id.name().to_ascii_lowercase() == lower)
+    }
+}
+
+impl std::fmt::Display for AttackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders the paper's Table I (attack, type, distance metric).
+pub fn table1_markdown() -> String {
+    let mut out = String::from("| Attack | Type | Distance |\n|---|---|---|\n");
+    for id in AttackId::ALL {
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            id.name(),
+            if id.is_gradient_based() {
+                "gradient"
+            } else {
+                "decision"
+            },
+            id.norm()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_ten_unique_attacks() {
+        let mut names: Vec<_> = AttackId::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn type_split_matches_table1() {
+        let gradient = AttackId::ALL.iter().filter(|a| a.is_gradient_based()).count();
+        assert_eq!(gradient, 6, "FGM/BIM/PGD x two norms");
+        assert_eq!(AttackId::ALL.len() - gradient, 4, "CR, RAG, RAU x2");
+    }
+
+    #[test]
+    fn build_names_match_ids() {
+        for id in AttackId::ALL {
+            assert_eq!(id.build().name(), id.name());
+        }
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for id in AttackId::ALL {
+            assert_eq!(AttackId::from_name(id.name()), Some(id));
+            assert_eq!(AttackId::from_name(&id.name().to_uppercase()), Some(id));
+        }
+        assert_eq!(AttackId::from_name("DeepFool"), None);
+    }
+
+    #[test]
+    fn norms_match_table1() {
+        assert_eq!(AttackId::CrL2.norm(), Norm::L2);
+        assert_eq!(AttackId::RauLinf.norm(), Norm::Linf);
+        assert_eq!(AttackId::BimLinf.norm(), Norm::Linf);
+    }
+
+    #[test]
+    fn table1_lists_everything() {
+        let t = table1_markdown();
+        for id in AttackId::ALL {
+            assert!(t.contains(id.name()));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Ripple-carry adders with per-bit cell selection.
+//!
+//! These are both useful circuits in their own right (the original
+//! defensive-approximation work replaced exact full adders inside an array
+//! multiplier with approximate mirror adders) and the reduction primitive
+//! used by the array-multiplier generator.
+
+use crate::cells::{half_adder, ApproxCell};
+use crate::netlist::{Netlist, NodeId};
+
+/// Builds an `n`-bit ripple-carry adder netlist: inputs `a[0..n]`,
+/// `b[0..n]` (little-endian), outputs `sum[0..n]` plus a final carry bit.
+///
+/// `cell_for_bit(i)` chooses the adder cell used at bit position `i`,
+/// allowing "lower bits approximate, upper bits exact" constructions.
+///
+/// # Examples
+///
+/// ```
+/// use axcirc::adders::ripple_carry_adder;
+/// use axcirc::cells::ApproxCell;
+///
+/// let nl = ripple_carry_adder(8, |_| ApproxCell::Exact);
+/// // inputs are packed a (low 8 bits) then b (high 8 bits)
+/// let out = nl.eval_bits((200u64 << 8) | 55);
+/// assert_eq!(out, 255);
+/// ```
+pub fn ripple_carry_adder(n: usize, cell_for_bit: impl Fn(usize) -> ApproxCell) -> Netlist {
+    assert!(n > 0 && 2 * n <= 64, "unsupported adder width {n}");
+    let mut nl = Netlist::new(2 * n);
+    let mut outputs = Vec::with_capacity(n + 1);
+    let mut carry: Option<NodeId> = None;
+    for i in 0..n {
+        let a = nl.input(i);
+        let b = nl.input(n + i);
+        let (sum, cout) = match carry {
+            None => match cell_for_bit(i) {
+                ApproxCell::Exact => half_adder(&mut nl, a, b),
+                cell => {
+                    let zero = nl.constant(false);
+                    cell.emit(&mut nl, a, b, zero)
+                }
+            },
+            Some(c) => cell_for_bit(i).emit(&mut nl, a, b, c),
+        };
+        outputs.push(sum);
+        carry = Some(cout);
+    }
+    outputs.push(carry.expect("n > 0 guarantees at least one bit"));
+    nl.set_outputs(outputs);
+    nl
+}
+
+/// Builds an `n`-bit lower-part-OR adder (LOA): the low `k` result bits are
+/// the bitwise OR of the operands (no carries), the upper `n - k` bits are
+/// an exact ripple-carry adder whose carry-in is `a[k-1] & b[k-1]`
+/// (the classic LOA carry-approximation), or 0 when `k == 0`.
+///
+/// # Panics
+///
+/// Panics if `k > n` or the width is unsupported.
+pub fn lower_or_adder(n: usize, k: usize) -> Netlist {
+    assert!(k <= n, "lower part {k} exceeds width {n}");
+    assert!(n > 0 && 2 * n <= 64, "unsupported adder width {n}");
+    let mut nl = Netlist::new(2 * n);
+    let mut outputs = Vec::with_capacity(n + 1);
+    for i in 0..k {
+        let a = nl.input(i);
+        let b = nl.input(n + i);
+        let o = nl.or(a, b);
+        outputs.push(o);
+    }
+    let mut carry = if k == 0 {
+        nl.constant(false)
+    } else {
+        let a = nl.input(k - 1);
+        let b = nl.input(n + k - 1);
+        nl.and(a, b)
+    };
+    for i in k..n {
+        let a = nl.input(i);
+        let b = nl.input(n + i);
+        let (sum, cout) = ApproxCell::Exact.emit(&mut nl, a, b, carry);
+        outputs.push(sum);
+        carry = cout;
+    }
+    outputs.push(carry);
+    nl.set_outputs(outputs);
+    nl
+}
+
+/// Convenience: evaluates an adder netlist built by this module on concrete
+/// operands, returning the `n+1`-bit result.
+pub fn eval_adder(nl: &Netlist, n: usize, a: u64, b: u64) -> u64 {
+    debug_assert_eq!(nl.num_inputs(), 2 * n);
+    nl.eval_bits((b << n) | (a & ((1 << n) - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rca_adds_exhaustively_8bit() {
+        let nl = ripple_carry_adder(8, |_| ApproxCell::Exact);
+        let table = nl.exhaustive();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(table[((b << 8) | a) as usize], a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_rca_various_widths() {
+        for n in [1usize, 2, 3, 5, 12, 16] {
+            let nl = ripple_carry_adder(n, |_| ApproxCell::Exact);
+            let mask = (1u64 << n) - 1;
+            // Sample a spread of operands including the extremes.
+            let samples: Vec<u64> = (0..1u64 << n.min(6))
+                .chain([mask, mask.wrapping_sub(1) & mask])
+                .collect();
+            for &a in &samples {
+                for &b in &samples {
+                    assert_eq!(eval_adder(&nl, n, a, b), (a & mask) + (b & mask));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_low_bits_bound_error() {
+        // Approximating the low 3 bits can change the result by at most
+        // the mass those bits plus their carries control.
+        let k = 3;
+        let nl = ripple_carry_adder(8, |i| {
+            if i < k {
+                ApproxCell::SumNotCout
+            } else {
+                ApproxCell::Exact
+            }
+        });
+        let table = nl.exhaustive();
+        let mut max_err = 0i64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let approx = table[((b << 8) | a) as usize] as i64;
+                let err = (approx - (a + b) as i64).abs();
+                max_err = max_err.max(err);
+            }
+        }
+        assert!(max_err > 0, "approximate adder must actually err");
+        assert!(max_err < 1 << (k + 2), "error {max_err} exceeds low-bit mass");
+    }
+
+    #[test]
+    fn loa_matches_exact_when_k_zero() {
+        let loa = lower_or_adder(8, 0);
+        let table = loa.exhaustive();
+        for a in (0..256u64).step_by(7) {
+            for b in (0..256u64).step_by(5) {
+                assert_eq!(table[((b << 8) | a) as usize], a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn loa_low_bits_are_or() {
+        let k = 4;
+        let loa = lower_or_adder(8, k);
+        for (a, b) in [(0b1010u64, 0b0110u64), (0xFF, 0x01), (0x3C, 0xC3)] {
+            let out = eval_adder(&loa, 8, a, b);
+            assert_eq!(out & ((1 << k) - 1), (a | b) & ((1 << k) - 1));
+        }
+    }
+
+    #[test]
+    fn loa_error_is_bounded_by_lower_part() {
+        let k = 4;
+        let loa = lower_or_adder(8, k);
+        let table = loa.exhaustive();
+        let mut max_err = 0i64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let approx = table[((b << 8) | a) as usize] as i64;
+                max_err = max_err.max((approx - (a + b) as i64).abs());
+            }
+        }
+        assert!(max_err > 0);
+        assert!(max_err <= 1 << (k + 1), "LOA error {max_err} out of bound");
+    }
+
+    #[test]
+    fn full_loa_is_bitwise_or_plus_carry() {
+        let loa = lower_or_adder(4, 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let out = eval_adder(&loa, 4, a, b);
+                let expect = (a | b) | (((a >> 3 & 1) & (b >> 3 & 1)) << 4);
+                assert_eq!(out, expect, "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn loa_rejects_bad_k() {
+        let _ = lower_or_adder(8, 9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Netlist export and structural statistics.
+//!
+//! Graphviz DOT output for inspecting generated multipliers, plus a
+//! structural summary (gate histogram, logic levels) useful when
+//! comparing recipe variants.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{Netlist, Node};
+
+/// Per-gate-kind counts of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateHistogram {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Constant nodes.
+    pub constants: usize,
+    /// Inverters.
+    pub not: usize,
+    /// AND gates.
+    pub and: usize,
+    /// OR gates.
+    pub or: usize,
+    /// XOR gates.
+    pub xor: usize,
+    /// NAND gates.
+    pub nand: usize,
+    /// NOR gates.
+    pub nor: usize,
+    /// XNOR gates.
+    pub xnor: usize,
+}
+
+impl GateHistogram {
+    /// Counts the nodes of a netlist.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut h = GateHistogram::default();
+        for node in nl.nodes() {
+            match node {
+                Node::Input(_) => h.inputs += 1,
+                Node::Const(_) => h.constants += 1,
+                Node::Not(_) => h.not += 1,
+                Node::And(..) => h.and += 1,
+                Node::Or(..) => h.or += 1,
+                Node::Xor(..) => h.xor += 1,
+                Node::Nand(..) => h.nand += 1,
+                Node::Nor(..) => h.nor += 1,
+                Node::Xnor(..) => h.xnor += 1,
+            }
+        }
+        h
+    }
+
+    /// Total logic gates (everything except inputs/constants).
+    pub fn gates(&self) -> usize {
+        self.not + self.and + self.or + self.xor + self.nand + self.nor + self.xnor
+    }
+}
+
+impl std::fmt::Display for GateHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "in:{} const:{} not:{} and:{} or:{} xor:{} nand:{} nor:{} xnor:{}",
+            self.inputs,
+            self.constants,
+            self.not,
+            self.and,
+            self.or,
+            self.xor,
+            self.nand,
+            self.nor,
+            self.xnor
+        )
+    }
+}
+
+fn node_label(node: &Node) -> String {
+    match node {
+        Node::Input(b) => format!("in{b}"),
+        Node::Const(v) => format!("const {}", u8::from(*v)),
+        Node::Not(_) => "NOT".to_owned(),
+        Node::And(..) => "AND".to_owned(),
+        Node::Or(..) => "OR".to_owned(),
+        Node::Xor(..) => "XOR".to_owned(),
+        Node::Nand(..) => "NAND".to_owned(),
+        Node::Nor(..) => "NOR".to_owned(),
+        Node::Xnor(..) => "XNOR".to_owned(),
+    }
+}
+
+/// Renders the netlist as a Graphviz DOT digraph. Inputs are boxes,
+/// outputs are double circles, gates are ellipses.
+pub fn to_dot(nl: &Netlist, graph_name: &str) -> String {
+    let mut out = String::new();
+    let safe: String = graph_name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    writeln!(out, "digraph {safe} {{").expect("write to string");
+    writeln!(out, "  rankdir=LR;").expect("write to string");
+    let output_set: std::collections::HashSet<usize> =
+        nl.outputs().iter().map(|o| o.index()).collect();
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let shape = if matches!(node, Node::Input(_)) {
+            "box"
+        } else if output_set.contains(&i) {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        writeln!(out, "  n{i} [label=\"{}\" shape={shape}];", node_label(node))
+            .expect("write to string");
+        let mut edge = |src: usize| {
+            writeln!(out, "  n{src} -> n{i};").expect("write to string");
+        };
+        match *node {
+            Node::Input(_) | Node::Const(_) => {}
+            Node::Not(a) => edge(a.index()),
+            Node::And(a, b)
+            | Node::Or(a, b)
+            | Node::Xor(a, b)
+            | Node::Nand(a, b)
+            | Node::Nor(a, b)
+            | Node::Xnor(a, b) => {
+                edge(a.index());
+                edge(b.index());
+            }
+        }
+    }
+    writeln!(out, "}}").expect("write to string");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::{ApproxSpec, ArrayMultiplier};
+
+    fn small_netlist() -> Netlist {
+        let mut nl = Netlist::new(2);
+        let a = nl.input(0);
+        let b = nl.input(1);
+        let x = nl.xor(a, b);
+        let y = nl.nand(a, x);
+        nl.set_outputs(vec![y]);
+        nl
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let nl = small_netlist();
+        let h = GateHistogram::of(&nl);
+        assert_eq!(h.inputs, 2);
+        assert_eq!(h.xor, 1);
+        assert_eq!(h.nand, 1);
+        assert_eq!(h.gates(), 2);
+        assert_eq!(h.gates(), nl.gate_count());
+        assert!(h.to_string().contains("xor:1"));
+    }
+
+    #[test]
+    fn histogram_of_multiplier_matches_gate_count() {
+        let nl = ArrayMultiplier::new(8, ApproxSpec::exact().with_loa_cols(4)).build();
+        let h = GateHistogram::of(&nl);
+        assert_eq!(h.gates(), nl.gate_count());
+        assert_eq!(h.inputs, 16);
+        assert!(h.and > 60, "an 8x8 multiplier has many partial products");
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let nl = small_netlist();
+        let dot = to_dot(&nl, "demo graph!");
+        assert!(dot.starts_with("digraph demo_graph_ {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per netlist node, at least one edge per gate.
+        assert_eq!(dot.matches("shape=").count(), nl.len());
+        assert!(dot.matches(" -> ").count() >= nl.gate_count());
+        // Output node is marked.
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("shape=box"));
+    }
+
+    #[test]
+    fn dot_edges_reference_existing_nodes() {
+        let nl = ArrayMultiplier::new(4, ApproxSpec::exact()).build();
+        let dot = to_dot(&nl, "m4");
+        for line in dot.lines().filter(|l| l.contains(" -> ")) {
+            let parts: Vec<&str> = line.trim().trim_end_matches(';').split(" -> ").collect();
+            for p in parts {
+                let idx: usize = p.trim().trim_start_matches('n').parse().expect("node id");
+                assert!(idx < nl.len(), "dangling edge to n{idx}");
+            }
+        }
+    }
+}

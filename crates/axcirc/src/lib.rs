@@ -1,0 +1,49 @@
+//! Gate-level combinational circuits for approximate arithmetic.
+//!
+//! This crate is the hardware substrate of the reproduction. The paper
+//! evaluates DNN accelerators built from *approximate multipliers*
+//! (EvoApprox8b). Those multipliers are gate-level artifacts, so we model
+//! them as gate-level artifacts:
+//!
+//! * [`netlist`] — a compact combinational netlist IR with a 64-way
+//!   bit-parallel simulator (one `u64` word simulates 64 input vectors at
+//!   once), which makes exhaustive 2^16-point characterization of an 8x8
+//!   multiplier essentially free.
+//! * [`cells`] — exact and approximate adder cells. The approximate cells
+//!   are behavioral models in the spirit of the approximate mirror-adder
+//!   literature; each documents its full truth table and error pattern.
+//! * [`adders`] — ripple-carry adders with per-bit cell selection and
+//!   lower-part-OR (LOA) construction.
+//! * [`multiplier`] — a parameterized unsigned array multiplier generator
+//!   with the approximation knobs used to emulate the EvoApprox8b parts:
+//!   column truncation (with optional compensation), LOA columns,
+//!   approximate full-adder columns and partial-product row perforation.
+//! * [`analysis`] — exhaustive error metrics (MAE, WCE, bias, error rate)
+//!   plus unit-gate area / critical-path delay / switching-power proxies,
+//!   i.e. the EvoApprox-style datasheet quantities.
+//!
+//! # Examples
+//!
+//! Build an exact 8x8 multiplier and check one product:
+//!
+//! ```
+//! use axcirc::multiplier::{ApproxSpec, ArrayMultiplier};
+//!
+//! let exact = ArrayMultiplier::new(8, ApproxSpec::exact()).build();
+//! let lut = exact.exhaustive_u16();
+//! assert_eq!(lut[(200 << 8) | 17] as u32, 200 * 17);
+//! ```
+
+pub mod adders;
+pub mod analysis;
+pub mod cells;
+pub mod export;
+pub mod multiplier;
+pub mod netlist;
+pub mod signed_mul;
+
+pub use analysis::{AreaReport, ErrorMetrics};
+pub use cells::ApproxCell;
+pub use multiplier::{ApproxSpec, ArrayMultiplier};
+pub use signed_mul::BaughWooleyMultiplier;
+pub use netlist::{Netlist, NodeId};

@@ -1,0 +1,419 @@
+//! Parameterized unsigned array-multiplier generator.
+//!
+//! The generator produces a `w x w` unsigned multiplier as a partial
+//! product array reduced column-by-column with adder cells. Approximation
+//! is introduced through four orthogonal knobs, which together span the
+//! error structures of the EvoApprox8b parts the paper uses:
+//!
+//! 1. **Column truncation** (`truncate_cols`): partial products in the
+//!    lowest columns are dropped outright — a strongly *negatively biased*
+//!    approximation (the multiplier always underestimates), optionally
+//!    softened by constant **compensation**.
+//! 2. **Lower-part-OR columns** (`loa_cols`): low columns compress their
+//!    partial products with OR gates and propagate no carries — small,
+//!    input-dependent errors of both signs.
+//! 3. **Approximate-cell columns** (`approx_cols` + `cell`): the reduction
+//!    in low columns uses an approximate full-adder cell — zero-mean,
+//!    data-dependent "masked/unmasked" errors, the behaviour the paper's
+//!    §IV.B discussion attributes to approximate partial-product addition.
+//! 4. **Row perforation** (`perforated_rows`): whole partial-product rows
+//!    are dropped — coarse negative bias concentrated on one operand's bit.
+//!
+//! The three error families are deliberately distinct because the paper's
+//! central observation — two multipliers with similar MAE can behave very
+//! differently under attack — is a statement about error *structure*, not
+//! error magnitude.
+
+use crate::cells::{half_adder, ApproxCell};
+use crate::netlist::{Netlist, NodeId};
+
+/// Approximation knobs for [`ArrayMultiplier`].
+///
+/// # Examples
+///
+/// ```
+/// use axcirc::multiplier::ApproxSpec;
+///
+/// let spec = ApproxSpec::exact().with_truncate_cols(6).with_compensation();
+/// assert_eq!(spec.truncate_cols, 6);
+/// assert!(spec.compensate);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApproxSpec {
+    /// Columns `[0, truncate_cols)` drop all partial products.
+    pub truncate_cols: usize,
+    /// When truncating, force output bit `truncate_cols - 1` to 1 to add
+    /// back roughly half of the dropped mass.
+    pub compensate: bool,
+    /// Columns `[truncate_cols, loa_cols)` compress with OR, no carries.
+    pub loa_cols: usize,
+    /// Columns `[loa_cols.max(truncate_cols), approx_cols)` reduce with
+    /// `cell` instead of the exact full adder.
+    pub approx_cols: usize,
+    /// The approximate cell used in the approximate-column region.
+    pub cell: ApproxCell,
+    /// Partial-product rows (multiplier-operand bit indices) dropped
+    /// entirely.
+    pub perforated_rows: Vec<usize>,
+}
+
+impl ApproxSpec {
+    /// An exact multiplier (no approximation).
+    pub fn exact() -> Self {
+        ApproxSpec::default()
+    }
+
+    /// Returns a copy with the given truncated-column count.
+    pub fn with_truncate_cols(mut self, n: usize) -> Self {
+        self.truncate_cols = n;
+        self
+    }
+
+    /// Returns a copy with compensation enabled.
+    pub fn with_compensation(mut self) -> Self {
+        self.compensate = true;
+        self
+    }
+
+    /// Returns a copy with OR-compressed low columns up to `n`.
+    pub fn with_loa_cols(mut self, n: usize) -> Self {
+        self.loa_cols = n;
+        self
+    }
+
+    /// Returns a copy using `cell` for reduction in columns below `n`.
+    pub fn with_approx_cols(mut self, n: usize, cell: ApproxCell) -> Self {
+        self.approx_cols = n;
+        self.cell = cell;
+        self
+    }
+
+    /// Returns a copy with the given partial-product rows dropped.
+    pub fn with_perforated_rows(mut self, rows: &[usize]) -> Self {
+        self.perforated_rows = rows.to_vec();
+        self
+    }
+
+    /// Whether this spec introduces any approximation at all.
+    pub fn is_exact(&self) -> bool {
+        self.truncate_cols == 0
+            && self.loa_cols == 0
+            && (self.approx_cols == 0 || self.cell == ApproxCell::Exact)
+            && self.perforated_rows.is_empty()
+    }
+}
+
+/// A `w x w` unsigned array multiplier generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayMultiplier {
+    width: usize,
+    spec: ApproxSpec,
+}
+
+impl ArrayMultiplier {
+    /// Creates a generator for a `width x width` multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 8 (exhaustive characterization needs
+    /// `2 * width <= 16` inputs) or if the spec's column indices exceed the
+    /// output width.
+    pub fn new(width: usize, spec: ApproxSpec) -> Self {
+        assert!((1..=8).contains(&width), "width {width} unsupported");
+        let out_bits = 2 * width;
+        assert!(spec.truncate_cols <= out_bits, "truncate_cols out of range");
+        assert!(spec.loa_cols <= out_bits, "loa_cols out of range");
+        assert!(spec.approx_cols <= out_bits, "approx_cols out of range");
+        assert!(
+            spec.perforated_rows.iter().all(|&r| r < width),
+            "perforated row out of range"
+        );
+        ArrayMultiplier { width, spec }
+    }
+
+    /// The operand width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The approximation spec.
+    pub fn spec(&self) -> &ApproxSpec {
+        &self.spec
+    }
+
+    /// Builds the netlist. Inputs are `a[0..w]` then `b[0..w]`
+    /// (little-endian); outputs are the `2w` product bits (little-endian).
+    pub fn build(&self) -> Netlist {
+        let w = self.width;
+        let out_bits = 2 * w;
+        let spec = &self.spec;
+        let mut nl = Netlist::new(2 * w);
+
+        // Partial products by output column: pp(i, j) = a_i AND b_j lands
+        // in column i + j.
+        let mut cols: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits];
+        for j in 0..w {
+            if spec.perforated_rows.contains(&j) {
+                continue;
+            }
+            for i in 0..w {
+                let c = i + j;
+                if c < spec.truncate_cols {
+                    continue; // truncated column: drop the partial product
+                }
+                let ai = nl.input(i);
+                let bj = nl.input(w + j);
+                let pp = nl.and(ai, bj);
+                cols[c].push(pp);
+            }
+        }
+
+        let mut outputs: Vec<NodeId> = Vec::with_capacity(out_bits);
+        let mut carries: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits + 1];
+        let zero = nl.constant(false);
+        for c in 0..out_bits {
+            let mut bits: Vec<NodeId> = Vec::new();
+            bits.append(&mut cols[c]);
+            let mut incoming = std::mem::take(&mut carries[c]);
+            bits.append(&mut incoming);
+
+            if c < spec.truncate_cols {
+                // Truncated region: output is constant, possibly with a
+                // compensation 1 in the top truncated column.
+                let forced = spec.compensate && c + 1 == spec.truncate_cols;
+                let out = if forced { nl.constant(true) } else { zero };
+                outputs.push(out);
+                continue;
+            }
+
+            if c < spec.loa_cols {
+                // LOA region: OR-compress everything, no carries out.
+                let out = match bits.split_first() {
+                    None => zero,
+                    Some((&first, rest)) => {
+                        rest.iter().fold(first, |acc, &x| nl.or(acc, x))
+                    }
+                };
+                outputs.push(out);
+                continue;
+            }
+
+            // Exact / approximate-cell reduction region.
+            let cell = if c < spec.approx_cols {
+                spec.cell
+            } else {
+                ApproxCell::Exact
+            };
+            while bits.len() > 1 {
+                if bits.len() >= 3 {
+                    let (x, y, z) = (
+                        bits.pop().expect("len >= 3"),
+                        bits.pop().expect("len >= 3"),
+                        bits.pop().expect("len >= 3"),
+                    );
+                    let (s, cy) = cell.emit(&mut nl, x, y, z);
+                    bits.push(s);
+                    carries[c + 1].push(cy);
+                } else {
+                    let (x, y) = (bits.pop().expect("len == 2"), bits.pop().expect("len == 2"));
+                    // Half adders stay exact even in the approximate region;
+                    // the cells of interest in the literature are full adders.
+                    let (s, cy) = half_adder(&mut nl, x, y);
+                    bits.push(s);
+                    carries[c + 1].push(cy);
+                }
+            }
+            outputs.push(bits.pop().unwrap_or(zero));
+        }
+
+        nl.set_outputs(outputs);
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_8x8_is_exhaustively_correct() {
+        let nl = ArrayMultiplier::new(8, ApproxSpec::exact()).build();
+        let table = nl.exhaustive_u16();
+        for a in 0..256usize {
+            for b in 0..256usize {
+                assert_eq!(table[(b << 8) | a] as usize, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_smaller_widths_are_correct() {
+        for w in 1..=6usize {
+            let nl = ArrayMultiplier::new(w, ApproxSpec::exact()).build();
+            let table = nl.exhaustive();
+            for a in 0..1usize << w {
+                for b in 0..1usize << w {
+                    assert_eq!(table[(b << w) | a] as usize, a * b, "w={w} {a}*{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_underestimates_only() {
+        let spec = ApproxSpec::exact().with_truncate_cols(6);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive_u16();
+        for a in 0..256usize {
+            for b in 0..256usize {
+                assert!(
+                    (table[(b << 8) | a] as usize) <= a * b,
+                    "truncation overestimated {a}*{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_is_bounded_by_dropped_mass() {
+        let k = 6;
+        let spec = ApproxSpec::exact().with_truncate_cols(k);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive_u16();
+        // The dropped partial products in columns < k sum to < 2^k * k.
+        let bound = (1i64 << k) * k as i64;
+        for a in 0..256usize {
+            for b in 0..256usize {
+                let err = a as i64 * b as i64 - table[(b << 8) | a] as i64;
+                assert!(err < bound, "{a}*{b} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn compensation_reduces_mean_error_magnitude() {
+        let base = ApproxSpec::exact().with_truncate_cols(7);
+        let comp = base.clone().with_compensation();
+        let mean_err = |spec: ApproxSpec| -> f64 {
+            let t = ArrayMultiplier::new(8, spec).build().exhaustive_u16();
+            let mut sum = 0f64;
+            for a in 0..256usize {
+                for b in 0..256usize {
+                    sum += t[(b << 8) | a] as f64 - (a * b) as f64;
+                }
+            }
+            sum / 65536.0
+        };
+        let e_plain = mean_err(base);
+        let e_comp = mean_err(comp);
+        assert!(e_plain < 0.0, "plain truncation biased low, got {e_plain}");
+        assert!(
+            e_comp.abs() < e_plain.abs(),
+            "compensation should shrink bias: {e_plain} -> {e_comp}"
+        );
+    }
+
+    #[test]
+    fn loa_multiplier_errs_but_stays_close() {
+        let spec = ApproxSpec::exact().with_loa_cols(6);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive_u16();
+        let mut max_err = 0i64;
+        let mut any_err = false;
+        for a in 0..256usize {
+            for b in 0..256usize {
+                let err = (table[(b << 8) | a] as i64 - (a * b) as i64).abs();
+                any_err |= err > 0;
+                max_err = max_err.max(err);
+            }
+        }
+        assert!(any_err);
+        // LOA region controls strictly less mass than truncating the same
+        // columns plus their carries.
+        assert!(max_err < 1 << 9, "max err {max_err}");
+    }
+
+    #[test]
+    fn sum_not_cout_cells_bias_positive_in_multiplier_context() {
+        // The cell is zero-bias over uniform (a, b, cin) triples, but
+        // partial products are 0 with probability 3/4, so the `000 -> 1`
+        // error row dominates inside a multiplier: data-dependent error
+        // structure, exactly the masking effect §IV.B of the paper invokes.
+        let spec = ApproxSpec::exact().with_approx_cols(8, ApproxCell::SumNotCout);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive_u16();
+        let mut sum = 0f64;
+        let mut abs = 0f64;
+        for a in 0..256usize {
+            for b in 0..256usize {
+                let err = table[(b << 8) | a] as f64 - (a * b) as f64;
+                sum += err;
+                abs += err.abs();
+            }
+        }
+        let bias = sum / 65536.0;
+        let mae = abs / 65536.0;
+        assert!(mae > 0.0);
+        assert!(bias > 0.0, "zero-dominated columns push errors positive");
+        assert!(bias.abs() <= mae, "|bias| can never exceed MAE");
+    }
+
+    #[test]
+    fn perforation_drops_row_mass() {
+        let spec = ApproxSpec::exact().with_perforated_rows(&[0]);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive_u16();
+        for a in 0..256usize {
+            for b in 0..256usize {
+                // Dropping row j=0 removes a * b_0 exactly.
+                let expect = a * (b & !1);
+                assert_eq!(table[(b << 8) | a] as usize, expect, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_operand_stays_zero_under_all_specs() {
+        let specs = [
+            ApproxSpec::exact().with_truncate_cols(8),
+            ApproxSpec::exact().with_loa_cols(8),
+            ApproxSpec::exact().with_approx_cols(10, ApproxCell::SumIsA),
+            ApproxSpec::exact().with_perforated_rows(&[1, 3]),
+        ];
+        for spec in specs {
+            let compensated = spec.compensate;
+            let nl = ArrayMultiplier::new(8, spec).build();
+            let table = nl.exhaustive_u16();
+            if !compensated {
+                assert_eq!(table[0], 0, "0*0 must be 0 without compensation");
+            }
+        }
+    }
+
+    #[test]
+    fn is_exact_detects_approximation() {
+        assert!(ApproxSpec::exact().is_exact());
+        assert!(!ApproxSpec::exact().with_truncate_cols(1).is_exact());
+        assert!(!ApproxSpec::exact().with_loa_cols(2).is_exact());
+        assert!(!ApproxSpec::exact()
+            .with_approx_cols(3, ApproxCell::SumIsA)
+            .is_exact());
+        assert!(!ApproxSpec::exact().with_perforated_rows(&[0]).is_exact());
+        // Approx columns with the exact cell is still exact.
+        assert!(ApproxSpec::exact()
+            .with_approx_cols(5, ApproxCell::Exact)
+            .is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn width_zero_rejected() {
+        let _ = ArrayMultiplier::new(0, ApproxSpec::exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_perforation_rejected() {
+        let _ = ArrayMultiplier::new(8, ApproxSpec::exact().with_perforated_rows(&[8]));
+    }
+}

@@ -1,0 +1,221 @@
+//! Gate-level two's-complement (Baugh-Wooley) signed multiplier.
+//!
+//! The unsigned array multiplier of [`crate::multiplier`] covers the
+//! paper's `mul8u_*` parts; this module adds a Baugh-Wooley signed
+//! multiplier so the `mul8s_*` family can also be characterized at the
+//! gate level (datasheets, area/power) rather than only behaviorally via
+//! the sign-magnitude wrapper.
+//!
+//! Baugh-Wooley construction for `w x w` two's-complement operands: the
+//! partial products involving exactly one sign bit are inverted, a
+//! constant 1 is added at columns `w` and `2w - 1`, and the result is the
+//! standard column reduction. The same approximation knobs as the
+//! unsigned generator apply to the reduction.
+
+use crate::cells::{half_adder, ApproxCell};
+use crate::multiplier::ApproxSpec;
+use crate::netlist::{Netlist, NodeId};
+
+/// A `w x w` two's-complement Baugh-Wooley multiplier generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaughWooleyMultiplier {
+    width: usize,
+    spec: ApproxSpec,
+}
+
+impl BaughWooleyMultiplier {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=8` or the spec indices are out of
+    /// range (row perforation is not supported for the signed form — the
+    /// sign rows are structural).
+    pub fn new(width: usize, spec: ApproxSpec) -> Self {
+        assert!((2..=8).contains(&width), "width {width} unsupported");
+        assert!(
+            spec.perforated_rows.is_empty(),
+            "row perforation is not defined for the Baugh-Wooley form"
+        );
+        let out_bits = 2 * width;
+        assert!(spec.truncate_cols <= out_bits);
+        assert!(spec.loa_cols <= out_bits);
+        assert!(spec.approx_cols <= out_bits);
+        BaughWooleyMultiplier { width, spec }
+    }
+
+    /// The operand width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Builds the netlist: inputs `a[0..w]` then `b[0..w]` (little-endian
+    /// two's complement), outputs the `2w`-bit two's-complement product.
+    pub fn build(&self) -> Netlist {
+        let w = self.width;
+        let out_bits = 2 * w;
+        let spec = &self.spec;
+        let mut nl = Netlist::new(2 * w);
+
+        let mut cols: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits];
+        for j in 0..w {
+            for i in 0..w {
+                let c = i + j;
+                if c < spec.truncate_cols {
+                    continue;
+                }
+                let ai = nl.input(i);
+                let bj = nl.input(w + j);
+                // Exactly one sign-bit operand: inverted partial product.
+                let one_sign = (i == w - 1) ^ (j == w - 1);
+                let pp = if one_sign {
+                    let andv = nl.and(ai, bj);
+                    nl.not(andv)
+                } else {
+                    nl.and(ai, bj)
+                };
+                cols[c].push(pp);
+            }
+        }
+        // Baugh-Wooley correction constants at columns w and 2w-1.
+        if w >= spec.truncate_cols {
+            let one = nl.constant(true);
+            cols[w].push(one);
+        }
+        if out_bits - 1 >= spec.truncate_cols {
+            let one = nl.constant(true);
+            cols[out_bits - 1].push(one);
+        }
+
+        let zero = nl.constant(false);
+        let mut outputs: Vec<NodeId> = Vec::with_capacity(out_bits);
+        let mut carries: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits + 1];
+        for c in 0..out_bits {
+            let mut bits: Vec<NodeId> = Vec::new();
+            bits.append(&mut cols[c]);
+            let mut incoming = std::mem::take(&mut carries[c]);
+            bits.append(&mut incoming);
+            if c < spec.truncate_cols {
+                let forced = spec.compensate && c + 1 == spec.truncate_cols;
+                let out = if forced { nl.constant(true) } else { zero };
+                outputs.push(out);
+                continue;
+            }
+            if c < spec.loa_cols {
+                let out = match bits.split_first() {
+                    None => zero,
+                    Some((&first, rest)) => rest.iter().fold(first, |acc, &x| nl.or(acc, x)),
+                };
+                outputs.push(out);
+                continue;
+            }
+            let cell = if c < spec.approx_cols {
+                spec.cell
+            } else {
+                ApproxCell::Exact
+            };
+            while bits.len() > 1 {
+                if bits.len() >= 3 {
+                    let (x, y, z) = (
+                        bits.pop().expect("len >= 3"),
+                        bits.pop().expect("len >= 3"),
+                        bits.pop().expect("len >= 3"),
+                    );
+                    let (s, cy) = cell.emit(&mut nl, x, y, z);
+                    bits.push(s);
+                    carries[c + 1].push(cy);
+                } else {
+                    let (x, y) = (bits.pop().expect("len 2"), bits.pop().expect("len 2"));
+                    let (s, cy) = half_adder(&mut nl, x, y);
+                    bits.push(s);
+                    carries[c + 1].push(cy);
+                }
+            }
+            outputs.push(bits.pop().unwrap_or(zero));
+        }
+        nl.set_outputs(outputs);
+        nl
+    }
+}
+
+/// Interprets a `bits`-wide little-endian word as two's complement.
+pub fn as_signed(value: u64, bits: usize) -> i64 {
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let v = value & mask;
+    if bits < 64 && v >> (bits - 1) & 1 == 1 {
+        (v as i64) - (1i64 << bits)
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bw8_matches_signed_multiplication_exhaustively() {
+        let nl = BaughWooleyMultiplier::new(8, ApproxSpec::exact()).build();
+        let table = nl.exhaustive();
+        for a in 0..256i64 {
+            for b in 0..256i64 {
+                let sa = as_signed(a as u64, 8);
+                let sb = as_signed(b as u64, 8);
+                let got = as_signed(table[((b as usize) << 8) | a as usize], 16);
+                assert_eq!(got, sa * sb, "{sa} * {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_bw_small_widths() {
+        for w in 2..=5usize {
+            let nl = BaughWooleyMultiplier::new(w, ApproxSpec::exact()).build();
+            let table = nl.exhaustive();
+            for a in 0..1u64 << w {
+                for b in 0..1u64 << w {
+                    let sa = as_signed(a, w);
+                    let sb = as_signed(b, w);
+                    let got = as_signed(table[((b as usize) << w) | a as usize], 2 * w);
+                    assert_eq!(got, sa * sb, "w={w} {sa}*{sb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_bw_errors_are_bounded() {
+        let spec = ApproxSpec::exact().with_loa_cols(5);
+        let nl = BaughWooleyMultiplier::new(8, spec).build();
+        let table = nl.exhaustive();
+        let mut max_err = 0i64;
+        let mut any = false;
+        for a in 0..256usize {
+            for b in 0..256usize {
+                let sa = as_signed(a as u64, 8);
+                let sb = as_signed(b as u64, 8);
+                let got = as_signed(table[(b << 8) | a], 16);
+                let err = (got - sa * sb).abs();
+                any |= err > 0;
+                max_err = max_err.max(err);
+            }
+        }
+        assert!(any, "LOA columns must introduce some error");
+        assert!(max_err < 1 << 10, "error {max_err} out of bound");
+    }
+
+    #[test]
+    fn as_signed_interprets_correctly() {
+        assert_eq!(as_signed(0x7F, 8), 127);
+        assert_eq!(as_signed(0x80, 8), -128);
+        assert_eq!(as_signed(0xFF, 8), -1);
+        assert_eq!(as_signed(0xFFFF, 16), -1);
+        assert_eq!(as_signed(5, 16), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "perforation")]
+    fn perforation_rejected() {
+        let _ = BaughWooleyMultiplier::new(8, ApproxSpec::exact().with_perforated_rows(&[0]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the circuit substrate.
+
+use axcirc::adders::{eval_adder, lower_or_adder, ripple_carry_adder};
+use axcirc::cells::ApproxCell;
+use axcirc::{ApproxSpec, ArrayMultiplier, BaughWooleyMultiplier, ErrorMetrics, Netlist};
+use axcirc::signed_mul::as_signed;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact ripple-carry adders add, at any width, on any operands.
+    #[test]
+    fn rca_adds(width in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(2 * width <= 64);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let nl = ripple_carry_adder(width, |_| ApproxCell::Exact);
+        prop_assert_eq!(eval_adder(&nl, width, a & mask, b & mask), (a & mask) + (b & mask));
+    }
+
+    /// The LOA adder never errs by more than the lower-part mass.
+    #[test]
+    fn loa_error_bound(k in 0usize..=8, a in 0u64..256, b in 0u64..256) {
+        let nl = lower_or_adder(8, k);
+        let got = eval_adder(&nl, 8, a, b) as i64;
+        let err = (got - (a + b) as i64).abs();
+        let bound = if k == 0 { 0 } else { 1i64 << (k + 1) };
+        prop_assert!(err <= bound, "err {} bound {}", err, bound);
+    }
+
+    /// eval_bits and the exhaustive table agree on arbitrary circuits
+    /// (here: the approximate multipliers, our richest netlists).
+    #[test]
+    fn exhaustive_agrees_with_eval_bits(
+        trunc in 0usize..6,
+        loa in 0usize..8,
+        cells in 0usize..10,
+        probe in 0u64..65536,
+    ) {
+        let spec = ApproxSpec::exact()
+            .with_truncate_cols(trunc)
+            .with_loa_cols(loa.max(trunc))
+            .with_approx_cols(cells.max(loa).max(trunc), ApproxCell::SumIgnoresCarry);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let table = nl.exhaustive();
+        prop_assert_eq!(table[probe as usize], nl.eval_bits(probe));
+    }
+
+    /// Error-metric invariants hold for any recipe: |bias| <= MAE <= WCE,
+    /// error rate in [0,1], and error rate is zero iff exact.
+    #[test]
+    fn metric_invariants(trunc in 0usize..8, loa in 0usize..10) {
+        let spec = ApproxSpec::exact()
+            .with_truncate_cols(trunc)
+            .with_loa_cols(loa.max(trunc));
+        let is_exact = spec.is_exact();
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let m = ErrorMetrics::from_mul_table(&nl.exhaustive_u16(), 8);
+        prop_assert!(m.mean_error.abs() <= m.mae + 1e-9);
+        prop_assert!(m.mae <= m.wce as f64 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&m.error_rate));
+        // Structural exactness implies functional exactness; the converse
+        // can fail (e.g. OR-compressing a single-bit column is exact).
+        if is_exact {
+            prop_assert_eq!(m.error_rate, 0.0);
+        }
+    }
+
+    /// The Baugh-Wooley multiplier is exact on random signed operands.
+    #[test]
+    fn baugh_wooley_exact(a in 0u64..256, b in 0u64..256) {
+        let nl = BaughWooleyMultiplier::new(8, ApproxSpec::exact()).build();
+        let out = nl.eval_bits((b << 8) | a);
+        prop_assert_eq!(as_signed(out, 16), as_signed(a, 8) * as_signed(b, 8));
+    }
+
+    /// Netlist evaluation is bit-parallel-consistent: packing the same
+    /// vector into every lane yields identical outputs in every lane.
+    #[test]
+    fn lanes_are_independent(probe in 0u64..65536) {
+        let nl = ArrayMultiplier::new(8, ApproxSpec::exact().with_loa_cols(4)).build();
+        let words: Vec<u64> = (0..16)
+            .map(|k| if probe >> k & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
+        let outs = nl.eval_words(&words);
+        for w in outs {
+            prop_assert!(w == 0 || w == u64::MAX, "lane divergence: {w:#x}");
+        }
+    }
+}
+
+/// Deterministic regression: a netlist is structurally reproducible.
+#[test]
+fn build_is_deterministic() {
+    let spec = ApproxSpec::exact().with_approx_cols(7, ApproxCell::SumIsA);
+    let a = ArrayMultiplier::new(8, spec.clone()).build();
+    let b = ArrayMultiplier::new(8, spec).build();
+    assert_eq!(a, b);
+    let _ = Netlist::new(4); // public constructor stays available
+}

@@ -1,0 +1,331 @@
+//! A tiny software rasterizer for procedural dataset generation.
+//!
+//! Renders anti-aliased thick polylines, discs and rectangles into a
+//! float image. Coordinates are in the unit square (`x` right, `y` down);
+//! intensity accumulates with saturation at 1.
+
+use axtensor::Tensor;
+
+/// A single-channel float canvas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    w: usize,
+    h: usize,
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black canvas.
+    pub fn new(w: usize, h: usize) -> Self {
+        assert!(w > 0 && h > 0);
+        Canvas {
+            w,
+            h,
+            data: vec![0.0; w * h],
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Raw pixels, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw pixels.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    fn deposit(&mut self, px: usize, py: usize, v: f32) {
+        let p = &mut self.data[py * self.w + px];
+        *p = (*p + v).min(1.0);
+    }
+
+    /// Distance from point `p` to segment `a`-`b` (all unit-square coords).
+    fn seg_dist(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+        let (px, py) = p;
+        let (ax, ay) = a;
+        let (bx, by) = b;
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        let t = if len2 <= f32::EPSILON {
+            0.0
+        } else {
+            (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+        };
+        let (cx, cy) = (ax + t * dx, ay + t * dy);
+        ((px - cx) * (px - cx) + (py - cy) * (py - cy)).sqrt()
+    }
+
+    /// Draws a thick anti-aliased polyline. `thickness` is the stroke
+    /// radius in unit coordinates.
+    pub fn stroke_polyline(&mut self, points: &[(f32, f32)], thickness: f32) {
+        if points.len() < 2 {
+            return;
+        }
+        // Bounding box in pixels, padded by the stroke radius.
+        let pad = thickness + 2.0 / self.w as f32;
+        let min_x = points.iter().map(|p| p.0).fold(f32::MAX, f32::min) - pad;
+        let max_x = points.iter().map(|p| p.0).fold(f32::MIN, f32::max) + pad;
+        let min_y = points.iter().map(|p| p.1).fold(f32::MAX, f32::min) - pad;
+        let max_y = points.iter().map(|p| p.1).fold(f32::MIN, f32::max) + pad;
+        let x0 = ((min_x * self.w as f32) as isize).max(0) as usize;
+        let x1 = ((max_x * self.w as f32).ceil() as isize).min(self.w as isize - 1) as usize;
+        let y0 = ((min_y * self.h as f32) as isize).max(0) as usize;
+        let y1 = ((max_y * self.h as f32).ceil() as isize).min(self.h as isize - 1) as usize;
+        let aa = 1.0 / self.w as f32; // one-pixel anti-aliasing band
+        for py in y0..=y1 {
+            for px in x0..=x1 {
+                let p = (
+                    (px as f32 + 0.5) / self.w as f32,
+                    (py as f32 + 0.5) / self.h as f32,
+                );
+                let mut d = f32::MAX;
+                for seg in points.windows(2) {
+                    d = d.min(Self::seg_dist(p, seg[0], seg[1]));
+                    if d <= 0.0 {
+                        break;
+                    }
+                }
+                let v = 1.0 - ((d - thickness) / aa).clamp(0.0, 1.0);
+                if v > 0.0 {
+                    self.deposit(px, py, v);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled anti-aliased disc.
+    pub fn fill_disc(&mut self, cx: f32, cy: f32, r: f32, intensity: f32) {
+        let aa = 1.0 / self.w as f32;
+        for py in 0..self.h {
+            for px in 0..self.w {
+                let x = (px as f32 + 0.5) / self.w as f32 - cx;
+                let y = (py as f32 + 0.5) / self.h as f32 - cy;
+                let d = (x * x + y * y).sqrt();
+                let v = intensity * (1.0 - ((d - r) / aa).clamp(0.0, 1.0));
+                if v > 0.0 {
+                    self.deposit(px, py, v);
+                }
+            }
+        }
+    }
+
+    /// Draws an annulus (ring) with the given inner/outer radii.
+    pub fn fill_ring(&mut self, cx: f32, cy: f32, r_in: f32, r_out: f32, intensity: f32) {
+        let aa = 1.0 / self.w as f32;
+        for py in 0..self.h {
+            for px in 0..self.w {
+                let x = (px as f32 + 0.5) / self.w as f32 - cx;
+                let y = (py as f32 + 0.5) / self.h as f32 - cy;
+                let d = (x * x + y * y).sqrt();
+                let outer = 1.0 - ((d - r_out) / aa).clamp(0.0, 1.0);
+                let inner = ((d - r_in) / aa).clamp(0.0, 1.0);
+                let v = intensity * outer * inner;
+                if v > 0.0 {
+                    self.deposit(px, py, v);
+                }
+            }
+        }
+    }
+
+    /// Draws an axis-aligned filled rectangle.
+    pub fn fill_rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, intensity: f32) {
+        let px0 = ((x0 * self.w as f32) as isize).max(0) as usize;
+        let px1 = ((x1 * self.w as f32).ceil() as isize).min(self.w as isize) as usize;
+        let py0 = ((y0 * self.h as f32) as isize).max(0) as usize;
+        let py1 = ((y1 * self.h as f32).ceil() as isize).min(self.h as isize) as usize;
+        for py in py0..py1 {
+            for px in px0..px1 {
+                self.deposit(px, py, intensity);
+            }
+        }
+    }
+
+    /// 3x3 box blur, applied `passes` times (approximates a Gaussian).
+    pub fn blur(&mut self, passes: usize) {
+        for _ in 0..passes {
+            let src = self.data.clone();
+            for y in 0..self.h {
+                for x in 0..self.w {
+                    let mut sum = 0.0;
+                    let mut n = 0.0;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let nx = x as i32 + dx;
+                            let ny = y as i32 + dy;
+                            if nx >= 0 && ny >= 0 && (nx as usize) < self.w && (ny as usize) < self.h
+                            {
+                                sum += src[ny as usize * self.w + nx as usize];
+                                n += 1.0;
+                            }
+                        }
+                    }
+                    self.data[y * self.w + x] = sum / n;
+                }
+            }
+        }
+    }
+
+    /// Converts to a `[1, H, W]` tensor, clamped to `[0, 1]`.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            self.data.iter().map(|&v| v.clamp(0.0, 1.0)).collect(),
+            &[1, self.h, self.w],
+        )
+    }
+}
+
+/// An affine transform on unit-square points: rotation about the centre,
+/// anisotropic scale, shear and translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Rotation in radians.
+    pub rotate: f32,
+    /// Horizontal scale factor.
+    pub scale_x: f32,
+    /// Vertical scale factor.
+    pub scale_y: f32,
+    /// Horizontal shear factor.
+    pub shear: f32,
+    /// Translation (unit coords).
+    pub translate: (f32, f32),
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Affine {
+            rotate: 0.0,
+            scale_x: 1.0,
+            scale_y: 1.0,
+            shear: 0.0,
+            translate: (0.0, 0.0),
+        }
+    }
+}
+
+impl Affine {
+    /// Applies the transform to a point (centre of rotation is (0.5, 0.5)).
+    pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
+        let (mut x, mut y) = (p.0 - 0.5, p.1 - 0.5);
+        x += self.shear * y;
+        x *= self.scale_x;
+        y *= self.scale_y;
+        let (s, c) = self.rotate.sin_cos();
+        let (rx, ry) = (c * x - s * y, s * x + c * y);
+        (
+            rx + 0.5 + self.translate.0,
+            ry + 0.5 + self.translate.1,
+        )
+    }
+
+    /// Applies the transform to every point of a polyline.
+    pub fn apply_all(&self, pts: &[(f32, f32)]) -> Vec<(f32, f32)> {
+        pts.iter().map(|&p| self.apply(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_canvas_is_black() {
+        let c = Canvas::new(8, 8);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stroke_deposits_ink_inside_bbox_only() {
+        let mut c = Canvas::new(28, 28);
+        c.stroke_polyline(&[(0.2, 0.2), (0.8, 0.2)], 0.05);
+        let t = c.to_tensor();
+        assert!(t.sum() > 0.0, "stroke must draw something");
+        // Bottom half untouched.
+        for y in 20..28 {
+            for x in 0..28 {
+                assert_eq!(t.get(&[0, y, x]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn disc_centre_is_bright() {
+        let mut c = Canvas::new(16, 16);
+        c.fill_disc(0.5, 0.5, 0.3, 1.0);
+        let t = c.to_tensor();
+        assert!(t.get(&[0, 8, 8]) > 0.9);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn ring_has_hole() {
+        let mut c = Canvas::new(32, 32);
+        c.fill_ring(0.5, 0.5, 0.2, 0.35, 1.0);
+        let t = c.to_tensor();
+        assert!(t.get(&[0, 16, 16]) < 0.05, "centre must stay dark");
+        // A point at radius ~0.28 should be bright.
+        assert!(t.get(&[0, 16, 25]) > 0.5);
+    }
+
+    #[test]
+    fn rect_fills_expected_pixels() {
+        let mut c = Canvas::new(10, 10);
+        c.fill_rect(0.0, 0.0, 0.5, 0.5, 1.0);
+        let t = c.to_tensor();
+        assert!(t.get(&[0, 2, 2]) > 0.9);
+        assert_eq!(t.get(&[0, 8, 8]), 0.0);
+    }
+
+    #[test]
+    fn blur_conserves_roughly_and_spreads() {
+        let mut c = Canvas::new(9, 9);
+        c.fill_rect(0.4, 0.4, 0.6, 0.6, 1.0);
+        let before_centre = c.data()[4 * 9 + 4];
+        c.blur(1);
+        let after_centre = c.data()[4 * 9 + 4];
+        assert!(after_centre <= before_centre);
+        assert!(c.data()[3 * 9 + 3] > 0.0, "ink must spread");
+    }
+
+    #[test]
+    fn identity_affine_is_identity() {
+        let a = Affine::default();
+        let p = (0.3, 0.7);
+        let q = a.apply(p);
+        assert!((q.0 - p.0).abs() < 1e-6 && (q.1 - p.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_centre_distance() {
+        let a = Affine {
+            rotate: 1.0,
+            ..Default::default()
+        };
+        let p = (0.9, 0.5);
+        let q = a.apply(p);
+        let d0 = ((p.0 - 0.5f32).powi(2) + (p.1 - 0.5f32).powi(2)).sqrt();
+        let d1 = ((q.0 - 0.5f32).powi(2) + (q.1 - 0.5f32).powi(2)).sqrt();
+        assert!((d0 - d1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn translate_moves_points() {
+        let a = Affine {
+            translate: (0.1, -0.2),
+            ..Default::default()
+        };
+        let q = a.apply((0.5, 0.5));
+        assert!((q.0 - 0.6).abs() < 1e-6);
+        assert!((q.1 - 0.3).abs() < 1e-6);
+    }
+}

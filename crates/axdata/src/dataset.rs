@@ -1,0 +1,260 @@
+//! Labeled image datasets.
+
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+/// An in-memory labeled image dataset.
+///
+/// Images are `[C, H, W]` tensors with values in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Assembles a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if images and labels disagree in length, a label is out of
+    /// range, or image shapes are inconsistent.
+    pub fn new(
+        name: impl Into<String>,
+        images: Vec<Tensor>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(num_classes > 0);
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        if let Some(first) = images.first() {
+            assert!(
+                images.iter().all(|im| im.dims() == first.dims()),
+                "inconsistent image shapes"
+            );
+        }
+        Dataset {
+            name: name.into(),
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// The dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `i`-th image.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> + '_ {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// A new dataset containing the examples at `indices` (cloned).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            images: indices.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// The first `n` examples (or all, if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        let idx: Vec<usize> = (0..n.min(self.len())).collect();
+        self.select(&idx)
+    }
+
+    /// Splits into `(front, back)` at `at`.
+    pub fn split_at(&self, at: usize) -> (Dataset, Dataset) {
+        let at = at.min(self.len());
+        let front: Vec<usize> = (0..at).collect();
+        let back: Vec<usize> = (at..self.len()).collect();
+        (self.select(&front), self.select(&back))
+    }
+
+    /// A deterministically shuffled copy.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        Rng::seed_from_u64(seed).shuffle(&mut idx);
+        self.select(&idx)
+    }
+
+    /// Deterministic mini-batch index lists.
+    pub fn batch_indices(&self, batch: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(batch > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        Rng::seed_from_u64(seed).shuffle(&mut idx);
+        idx.chunks(batch).map(|c| c.to_vec()).collect()
+    }
+
+    /// Returns a copy with every image zero-padded (centred) to
+    /// `target_h x target_w`. Channels are unchanged. Used to feed
+    /// 28x28 MNIST images to 32x32-input architectures in the
+    /// transferability study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the current image size.
+    pub fn padded_to(&self, target_h: usize, target_w: usize) -> Dataset {
+        let images = self
+            .images
+            .iter()
+            .map(|im| {
+                let [c, h, w] = *im.dims() else {
+                    panic!("padded_to expects [C, H, W] images")
+                };
+                assert!(target_h >= h && target_w >= w, "target smaller than image");
+                let (oy, ox) = ((target_h - h) / 2, (target_w - w) / 2);
+                let mut out = Tensor::zeros(&[c, target_h, target_w]);
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            out.set(&[ch, oy + y, ox + x], im.get(&[ch, y, x]));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        Dataset {
+            name: format!("{}-pad{}x{}", self.name, target_h, target_w),
+            images,
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = (0..n)
+            .map(|i| Tensor::full(&[1, 2, 2], i as f32 / n as f32))
+            .collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new("toy", images, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.label(4), 1);
+        assert_eq!(d.class_counts(), vec![3, 3, 3]);
+        assert_eq!(d.iter().count(), 9);
+    }
+
+    #[test]
+    fn select_take_split() {
+        let d = toy(10);
+        let s = d.select(&[0, 9, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.label(1), 9 % 3);
+        assert_eq!(d.take(4).len(), 4);
+        assert_eq!(d.take(99).len(), 10);
+        let (a, b) = d.split_at(7);
+        assert_eq!((a.len(), b.len()), (7, 3));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let d = toy(20);
+        let s1 = d.shuffled(5);
+        let s2 = d.shuffled(5);
+        assert_eq!(s1, s2);
+        let mut sums: Vec<f32> = s1.iter().map(|(im, _)| im.sum()).collect();
+        let mut orig: Vec<f32> = d.iter().map(|(im, _)| im.sum()).collect();
+        sums.sort_by(f32::total_cmp);
+        orig.sort_by(f32::total_cmp);
+        assert_eq!(sums, orig);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy(10);
+        let batches = d.batch_indices(3, 0);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn padding_centres_and_preserves_values() {
+        let mut im = Tensor::zeros(&[1, 2, 2]);
+        im.set(&[0, 0, 0], 1.0);
+        im.set(&[0, 1, 1], 0.5);
+        let d = Dataset::new("p", vec![im], vec![0], 1);
+        let p = d.padded_to(4, 4);
+        let pi = p.image(0);
+        assert_eq!(pi.dims(), &[1, 4, 4]);
+        assert_eq!(pi.get(&[0, 1, 1]), 1.0);
+        assert_eq!(pi.get(&[0, 2, 2]), 0.5);
+        assert_eq!(pi.get(&[0, 0, 0]), 0.0);
+        assert_eq!(pi.sum(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than image")]
+    fn padding_to_smaller_rejected() {
+        let d = Dataset::new("p", vec![Tensor::zeros(&[1, 4, 4])], vec![0], 1);
+        let _ = d.padded_to(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_rejected() {
+        let _ = Dataset::new("x", vec![Tensor::zeros(&[1, 1, 1])], vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        let _ = Dataset::new("x", vec![Tensor::zeros(&[1, 1, 1])], vec![], 3);
+    }
+}

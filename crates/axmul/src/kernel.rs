@@ -1,0 +1,86 @@
+//! The multiplication kernel abstraction.
+//!
+//! A [`MulKernel`] performs one unsigned 8x8 multiplication. The quantized
+//! inference engine in `axquant` is generic over this trait, which is how
+//! an accurate DNN becomes an AxDNN: same network, different kernel.
+
+/// One unsigned 8-bit multiplication, possibly approximate.
+///
+/// Implementors must be cheap to call (this sits in the innermost MAC
+/// loop) and `Sync` so evaluation can be parallelized over images.
+pub trait MulKernel: Sync {
+    /// Multiplies two 8-bit unsigned operands.
+    fn mul(&self, a: u8, b: u8) -> u16;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str;
+
+    /// Multiplies sign-magnitude operands: `|a| * |b|` through the kernel
+    /// with the sign applied afterwards. `mag_a`/`mag_b` must be ≤ 255.
+    #[inline]
+    fn mul_signed_mag(&self, sign_negative: bool, mag_a: u8, mag_b: u8) -> i32 {
+        let p = self.mul(mag_a, mag_b) as i32;
+        if sign_negative {
+            -p
+        } else {
+            p
+        }
+    }
+}
+
+/// The exact (builtin) multiplier; the `ACC`/`1JFF` reference behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMul;
+
+impl MulKernel for ExactMul {
+    #[inline]
+    fn mul(&self, a: u8, b: u8) -> u16 {
+        a as u16 * b as u16
+    }
+
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+impl<K: MulKernel + ?Sized> MulKernel for &K {
+    #[inline]
+    fn mul(&self, a: u8, b: u8) -> u16 {
+        (**self).mul(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mul_is_exact_everywhere() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(ExactMul.mul(a, b), a as u16 * b as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_magnitude_helper_applies_sign() {
+        assert_eq!(ExactMul.mul_signed_mag(false, 10, 12), 120);
+        assert_eq!(ExactMul.mul_signed_mag(true, 10, 12), -120);
+        assert_eq!(ExactMul.mul_signed_mag(true, 0, 12), 0);
+    }
+
+    #[test]
+    fn kernel_usable_through_reference() {
+        fn takes_kernel<K: MulKernel>(k: K) -> u16 {
+            k.mul(3, 7)
+        }
+        let k = ExactMul;
+        assert_eq!(takes_kernel(&k), 21);
+        assert_eq!(k.name(), "exact");
+    }
+}

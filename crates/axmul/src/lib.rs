@@ -1,0 +1,53 @@
+//! Named approximate-multiplier library — the EvoApprox8b substitution.
+//!
+//! The paper selects multipliers from the EvoApprox8b library by name
+//! (1JFF, 96D, 12N4, 17KS, …). The evolved gate-level netlists of that
+//! library are not available offline, so this crate substitutes each name
+//! with a *calibrated recipe* built from the [`axcirc`] array-multiplier
+//! generator: a combination of column truncation, lower-part-OR
+//! compression, approximate adder cells and row perforation chosen so the
+//! exhaustively-measured mean absolute error lands near the published
+//! value (where the paper quotes one: 17KS = 0.56%, JQQ = 1.12%,
+//! L40 = 1.54%) and so the *error structure* (biased vs. zero-mean,
+//! small-operand behaviour) spans the same qualitative range. The measured
+//! datasheet of every part is in `EXPERIMENTS.md` and regenerable with the
+//! `multipliers_report` binary.
+//!
+//! * [`kernel`] — the [`kernel::MulKernel`] trait: one 8x8
+//!   unsigned multiplication, the plug-in point for the quantized
+//!   inference engine.
+//! * [`lut`] — 64Ki-entry lookup tables extracted from netlists; one L1
+//!   resident table lookup per MAC during inference.
+//! * [`spec`] — a named multiplier specification (name, family, recipe,
+//!   calibration target).
+//! * [`registry`] — the named parts and the per-figure sets used by the
+//!   paper (M1-M9 for LeNet/MNIST, M1-M8 for AlexNet/CIFAR-10).
+//! * [`signed`] — sign-magnitude signed wrappers (the `mul8s_*` family).
+//! * [`metrics`] — EvoApprox-style datasheets (error + area/delay/power).
+//!
+//! # Examples
+//!
+//! ```
+//! use axmul::registry::Registry;
+//! use axmul::kernel::MulKernel;
+//!
+//! let reg = Registry::standard();
+//! let exact = reg.build_lut("1JFF").expect("1JFF is registered");
+//! assert_eq!(exact.mul(123, 45), 123 * 45);
+//!
+//! let approx = reg.build_lut("L40").expect("L40 is registered");
+//! assert_ne!(approx.mul(255, 255), 255 * 255); // approximate part
+//! ```
+
+pub mod kernel;
+pub mod lut;
+pub mod metrics;
+pub mod registry;
+pub mod signed;
+pub mod spec;
+
+pub use kernel::{ExactMul, MulKernel};
+pub use lut::MulLut;
+pub use registry::Registry;
+pub use signed::SignedMul;
+pub use spec::{Family, MulSpec};

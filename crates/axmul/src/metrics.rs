@@ -1,0 +1,118 @@
+//! EvoApprox-style datasheets for the registered multipliers.
+//!
+//! For every part this produces the quantities the EvoApprox8b library
+//! documents — exhaustive error statistics plus physical-cost proxies —
+//! so that the energy/accuracy trade-off motivating approximate DNN
+//! accelerators can be reported next to the robustness results.
+
+use axcirc::{AreaReport, ErrorMetrics};
+
+use crate::registry::Registry;
+use crate::spec::MulSpec;
+
+/// A full characterization of one named multiplier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datasheet {
+    /// The part name.
+    pub name: String,
+    /// The canonical `mul8u_*` / `mul8s_*` name.
+    pub full_name: String,
+    /// The MAE% target the recipe was calibrated toward.
+    pub target_mae_pct: f64,
+    /// Exhaustively measured error statistics.
+    pub error: ErrorMetrics,
+    /// Unit-gate physical-cost proxies.
+    pub area: AreaReport,
+}
+
+impl Datasheet {
+    /// Characterizes one part (exhaustive over all 2^16 operand pairs).
+    pub fn of(spec: &MulSpec) -> Self {
+        let nl = spec.build_netlist();
+        let table = nl.exhaustive_u16();
+        Datasheet {
+            name: spec.name().to_owned(),
+            full_name: spec.full_name(),
+            target_mae_pct: spec.target_mae_pct(),
+            error: ErrorMetrics::from_mul_table(&table, 8),
+            area: AreaReport::of(&nl),
+        }
+    }
+}
+
+/// Characterizes every part in a registry.
+pub fn datasheets(reg: &Registry) -> Vec<Datasheet> {
+    reg.specs().iter().map(Datasheet::of).collect()
+}
+
+/// Renders datasheets as a Markdown table (the `multipliers_report`
+/// output), including area/power savings relative to the exact part.
+pub fn report_markdown(sheets: &[Datasheet]) -> String {
+    let baseline = sheets
+        .iter()
+        .find(|d| d.error.is_exact())
+        .map(|d| d.area)
+        .unwrap_or_default();
+    let mut out = String::new();
+    out.push_str(
+        "| Part | Target MAE% | MAE% | WCE% | Err rate | Bias (LSB) | Gates | Area (T) | Delay | Power | Area save | Power save |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for d in sheets {
+        let (asave, psave) = d.area.savings_vs(&baseline);
+        out.push_str(&format!(
+            "| {} | {:.4} | {:.4} | {:.3} | {:.1}% | {:+.1} | {} | {} | {} | {:.1} | {:.1}% | {:.1}% |\n",
+            d.full_name,
+            d.target_mae_pct,
+            d.error.mae_pct,
+            d.error.wce_pct,
+            100.0 * d.error.error_rate,
+            d.error.mean_error,
+            d.area.gates,
+            d.area.area,
+            d.area.delay,
+            d.area.power,
+            100.0 * asave,
+            100.0 * psave,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_of_exact_part() {
+        let reg = Registry::standard();
+        let d = Datasheet::of(reg.find("1JFF").unwrap());
+        assert!(d.error.is_exact());
+        assert!(d.area.gates > 100, "8x8 array multiplier is not tiny");
+        assert_eq!(d.full_name, "mul8u_1JFF");
+    }
+
+    #[test]
+    fn approximate_parts_save_area_or_power() {
+        let reg = Registry::standard();
+        let exact = Datasheet::of(reg.find("1JFF").unwrap());
+        // Truncation-based parts must save on both axes; the motivation
+        // for approximate multipliers in the first place.
+        let heavy = Datasheet::of(reg.find("L40").unwrap());
+        let (asave, psave) = heavy.area.savings_vs(&exact.area);
+        assert!(asave > 0.05, "L40 area saving {asave}");
+        assert!(psave > 0.05, "L40 power saving {psave}");
+    }
+
+    #[test]
+    fn report_lists_every_part() {
+        let reg = Registry::standard();
+        let sheets = datasheets(&reg);
+        let md = report_markdown(&sheets);
+        for spec in reg.specs() {
+            assert!(md.contains(&spec.full_name()), "missing {}", spec.full_name());
+        }
+        // Header + separator + one row per part.
+        assert_eq!(md.lines().count(), 2 + sheets.len());
+    }
+}

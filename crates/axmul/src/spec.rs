@@ -1,0 +1,150 @@
+//! Named multiplier specifications.
+
+use axcirc::{ApproxSpec, ArrayMultiplier, Netlist};
+
+use crate::lut::MulLut;
+
+/// Operand interpretation of a named multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Unsigned 8x8 (`mul8u_*`): operands 0..=255.
+    Unsigned8,
+    /// Signed 8x8 (`mul8s_*`): used through the sign-magnitude wrapper
+    /// ([`crate::signed::SignedMul`]).
+    Signed8,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Unsigned8 => write!(f, "mul8u"),
+            Family::Signed8 => write!(f, "mul8s"),
+        }
+    }
+}
+
+/// A named multiplier: an EvoApprox8b part name bound to the calibrated
+/// recipe that substitutes for it.
+///
+/// # Examples
+///
+/// ```
+/// use axmul::spec::{Family, MulSpec};
+/// use axcirc::ApproxSpec;
+///
+/// let spec = MulSpec::new("DEMO", Family::Unsigned8, ApproxSpec::exact().with_loa_cols(4), 0.005);
+/// let lut = spec.build_lut();
+/// assert_eq!(spec.name(), "DEMO");
+/// assert!(lut.table().len() == 1 << 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulSpec {
+    name: String,
+    family: Family,
+    recipe: ApproxSpec,
+    /// The MAE% this recipe was calibrated toward (the published EvoApprox
+    /// value where the paper quotes one, otherwise our rank-based target).
+    target_mae_pct: f64,
+}
+
+impl MulSpec {
+    /// Creates a specification.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        recipe: ApproxSpec,
+        target_mae_pct: f64,
+    ) -> Self {
+        MulSpec {
+            name: name.into(),
+            family,
+            recipe,
+            target_mae_pct,
+        }
+    }
+
+    /// The part name (e.g. `"17KS"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The canonical library-style name (e.g. `"mul8u_17KS"`).
+    pub fn full_name(&self) -> String {
+        format!("{}_{}", self.family, self.name)
+    }
+
+    /// The operand family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The approximation recipe.
+    pub fn recipe(&self) -> &ApproxSpec {
+        &self.recipe
+    }
+
+    /// The MAE% calibration target.
+    pub fn target_mae_pct(&self) -> f64 {
+        self.target_mae_pct
+    }
+
+    /// Whether this is the accurate part.
+    pub fn is_exact(&self) -> bool {
+        self.recipe.is_exact()
+    }
+
+    /// Builds the gate-level netlist for this part.
+    pub fn build_netlist(&self) -> Netlist {
+        ArrayMultiplier::new(8, self.recipe.clone()).build()
+    }
+
+    /// Builds the inference lookup table for this part.
+    pub fn build_lut(&self) -> MulLut {
+        MulLut::from_netlist(self.full_name(), &self.build_netlist())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::MulKernel;
+
+    #[test]
+    fn exact_spec_builds_exact_lut() {
+        let spec = MulSpec::new("1JFF", Family::Unsigned8, ApproxSpec::exact(), 0.0);
+        assert!(spec.is_exact());
+        let lut = spec.build_lut();
+        for a in (0..=255u8).step_by(11) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(lut.mul(a, b), a as u16 * b as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn full_name_includes_family() {
+        let u = MulSpec::new("17KS", Family::Unsigned8, ApproxSpec::exact(), 0.56);
+        let s = MulSpec::new("L1G", Family::Signed8, ApproxSpec::exact(), 0.2);
+        assert_eq!(u.full_name(), "mul8u_17KS");
+        assert_eq!(s.full_name(), "mul8s_L1G");
+    }
+
+    #[test]
+    fn approximate_spec_is_not_exact() {
+        let spec = MulSpec::new(
+            "X",
+            Family::Unsigned8,
+            ApproxSpec::exact().with_truncate_cols(4),
+            0.02,
+        );
+        assert!(!spec.is_exact());
+        let lut = spec.build_lut();
+        let mut any_err = false;
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                any_err |= lut.mul(a, b) != a as u16 * b as u16;
+            }
+        }
+        assert!(any_err);
+    }
+}

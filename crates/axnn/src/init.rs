@@ -1,0 +1,56 @@
+//! Weight initialization.
+
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`, the
+/// standard choice for ReLU networks.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::zeros(dims);
+    rng.fill_normal_f32(t.data_mut(), std);
+    t
+}
+
+/// Xavier (Glorot) uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    assert!(fan_in + fan_out > 0);
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut t = Tensor::zeros(dims);
+    rng.fill_range_f32(t.data_mut(), -a, a);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axtensor::stats::mean_std;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = Rng::seed_from_u64(3);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let (mean, std) = mean_std(t.data());
+        let expect = (2.0f32 / 100.0).sqrt();
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((std - expect).abs() / expect < 0.1, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng::seed_from_u64(4);
+        let t = xavier_uniform(&[50, 50], 50, 50, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= a));
+        assert!(t.max_abs() > a * 0.8, "should fill the range");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(&[10], 10, &mut Rng::seed_from_u64(9));
+        let b = he_normal(&[10], 10, &mut Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

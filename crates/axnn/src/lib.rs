@@ -1,0 +1,49 @@
+//! A from-scratch neural-network library (the TensorFlow substitution).
+//!
+//! Float (f32) training and inference for the LeNet-scale networks of the
+//! paper, with everything the robustness pipeline needs:
+//!
+//! * [`layer`] — convolution, dense, average-pooling, ReLU and flatten
+//!   layers with forward *and* backward passes (parameter gradients and
+//!   input gradients — the latter power the gradient-based attacks).
+//! * [`loss`] — numerically stable softmax cross-entropy.
+//! * [`model`] — [`model::Sequential`] composition, prediction
+//!   and accuracy evaluation.
+//! * [`init`] / [`optim`] / [`train`] — He initialization, SGD with
+//!   momentum and a deterministic mini-batch training loop (batch
+//!   gradients are accumulated in parallel with `crossbeam`).
+//! * [`zoo`] — the paper's architectures: LeNet-5, a 5-conv/3-pool/2-FC
+//!   AlexNet-mini, and the motivational-study FFNN.
+//! * [`serialize`] — explicit binary weight artifacts (see
+//!   `axutil::binio`) so trained models are cached and experiments are
+//!   replayable.
+//!
+//! # Examples
+//!
+//! ```
+//! use axnn::model::Sequential;
+//! use axnn::layer::{Dense, Layer};
+//! use axtensor::Tensor;
+//! use axutil::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let model = Sequential::new("tiny", vec![
+//!     Layer::Dense(Dense::new(4, 3, &mut rng)),
+//!     Layer::Relu,
+//!     Layer::Dense(Dense::new(3, 2, &mut rng)),
+//! ]);
+//! let logits = model.forward(&Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5], &[4]));
+//! assert_eq!(logits.len(), 2);
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod serialize;
+pub mod train;
+pub mod zoo;
+
+pub use layer::Layer;
+pub use model::Sequential;

@@ -1,0 +1,88 @@
+//! Softmax cross-entropy loss.
+
+use axtensor::Tensor;
+
+/// Numerically stable softmax probabilities.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.into_iter().map(|e| e / sum).collect(), logits.dims())
+}
+
+/// Cross-entropy loss of `logits` against class `target`, together with
+/// the gradient with respect to the logits (`softmax - onehot`).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn cross_entropy_with_grad(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(target < logits.len(), "target class out of range");
+    let probs = softmax(logits);
+    let p_target = probs.data()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.data_mut()[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Cross-entropy loss only.
+pub fn cross_entropy(logits: &Tensor, target: usize) -> f32 {
+    cross_entropy_with_grad(logits, target).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let l = Tensor::from_vec(vec![1.0, 3.0, 2.0], &[3]);
+        let p = softmax(&l);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[1] > p.data()[2] && p.data()[2] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = softmax(&Tensor::from_vec(vec![1001.0, 1002.0], &[2]));
+        assert!((a.data()[0] - b.data()[0]).abs() < 1e-6);
+        assert!(b.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_logits_give_log_n_loss() {
+        let l = Tensor::zeros(&[10]);
+        let loss = cross_entropy(&l, 4);
+        assert!((loss - (10f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let l = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0], &[4]);
+        let (_, g) = cross_entropy_with_grad(&l, 2);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = l.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = l.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy(&lp, 2) - cross_entropy(&lm, 2)) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3, "dim {i}");
+        }
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let l = Tensor::from_vec(vec![2.0, -1.0, 0.5], &[3]);
+        let (_, g) = cross_entropy_with_grad(&l, 0);
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = cross_entropy(&Tensor::zeros(&[3]), 3);
+    }
+}

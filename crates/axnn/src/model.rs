@@ -1,0 +1,303 @@
+//! Sequential model composition.
+
+use axdata::Dataset;
+use axtensor::Tensor;
+use axutil::parallel;
+
+use crate::layer::Layer;
+use crate::loss::cross_entropy_with_grad;
+
+/// Parameter gradients for a whole model: one `Vec<Tensor>` per layer,
+/// each in the layer's `params()` order (empty for parameterless layers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradBuffer {
+    /// Per-layer parameter gradients.
+    pub layers: Vec<Vec<Tensor>>,
+}
+
+impl GradBuffer {
+    /// Accumulates another buffer into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn accumulate(&mut self, other: &GradBuffer) {
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(a.len(), b.len());
+            for (ta, tb) in a.iter_mut().zip(b) {
+                ta.add_scaled(tb, 1.0);
+            }
+        }
+    }
+
+    /// Scales every gradient in place.
+    pub fn scale(&mut self, s: f32) {
+        for layer in &mut self.layers {
+            for t in layer {
+                t.map_inplace(|v| v * s);
+            }
+        }
+    }
+
+    /// Global l2 norm across all gradients (for diagnostics/clipping).
+    pub fn l2_norm(&self) -> f32 {
+        let mut sq = 0f64;
+        for layer in &self.layers {
+            for t in layer {
+                let n = t.l2_norm() as f64;
+                sq += n * n;
+            }
+        }
+        sq.sqrt() as f32
+    }
+}
+
+/// A feed-forward stack of layers producing class logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Assembles a model.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (weight surgery, optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.len())
+            .sum()
+    }
+
+    /// Runs the model forward, returning logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass that records every layer input (needed by backward).
+    /// Returns `(per_layer_inputs, logits)`.
+    pub fn forward_trace(&self, x: &Tensor) -> (Vec<Tensor>, Tensor) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            inputs.push(cur.clone());
+            cur = layer.forward(&cur);
+        }
+        (inputs, cur)
+    }
+
+    /// The predicted class for one input.
+    pub fn predict(&self, x: &Tensor) -> usize {
+        self.forward(x).argmax()
+    }
+
+    /// Zero gradients shaped like this model's parameters.
+    pub fn zero_grads(&self) -> GradBuffer {
+        GradBuffer {
+            layers: self.layers.iter().map(|l| l.zero_param_grads()).collect(),
+        }
+    }
+
+    /// Cross-entropy loss and parameter gradients for one example.
+    pub fn loss_and_grads(&self, x: &Tensor, target: usize) -> (f32, GradBuffer) {
+        let (inputs, logits) = self.forward_trace(x);
+        let (loss, mut grad) = cross_entropy_with_grad(&logits, target);
+        let mut buf = self.zero_grads();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let pg = &mut buf.layers[i];
+            let slice = if pg.is_empty() { None } else { Some(pg.as_mut_slice()) };
+            grad = layer.backward(&inputs[i], &grad, slice);
+        }
+        (loss, buf)
+    }
+
+    /// Cross-entropy loss and the gradient with respect to the *input* —
+    /// the quantity gradient-based adversarial attacks ascend.
+    pub fn input_gradient(&self, x: &Tensor, target: usize) -> (f32, Tensor) {
+        let (inputs, logits) = self.forward_trace(x);
+        let (loss, mut grad) = cross_entropy_with_grad(&logits, target);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            grad = layer.backward(&inputs[i], &grad, None);
+        }
+        (loss, grad)
+    }
+
+    /// Applies a gradient step: `param -= lr * grad` (plain SGD; momentum
+    /// lives in [`crate::optim::Sgd`]).
+    pub fn apply_grads(&mut self, grads: &GradBuffer, lr: f32) {
+        for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
+            for (p, gt) in layer.params_mut().into_iter().zip(g) {
+                p.add_scaled(gt, -lr);
+            }
+        }
+    }
+
+    /// Classification accuracy over (up to `max_n` examples of) a dataset,
+    /// evaluated in parallel.
+    pub fn accuracy(&self, data: &Dataset, max_n: usize) -> f32 {
+        let n = data.len().min(max_n);
+        if n == 0 {
+            return 0.0;
+        }
+        let correct = parallel::par_reduce(
+            n,
+            || 0usize,
+            |acc, i| acc + usize::from(self.predict(data.image(i)) == data.label(i)),
+            |a, b| a + b,
+        );
+        correct as f32 / n as f32
+    }
+
+    /// A one-line-per-layer summary with parameter counts.
+    pub fn summary(&self) -> String {
+        let mut out = format!("{} ({} params)\n", self.name, self.num_params());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let p: usize = layer.params().iter().map(|t| t.len()).sum();
+            out.push_str(&format!("  {i:2}: {:8} {:>8} params\n", layer.kind(), p));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Dense;
+    use axutil::rng::Rng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from_u64(seed);
+        Sequential::new(
+            "tiny",
+            vec![
+                Layer::Dense(Dense::new(4, 8, &mut rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(8, 3, &mut rng)),
+            ],
+        )
+    }
+
+    fn random_input(seed: u64) -> Tensor {
+        let mut t = Tensor::zeros(&[4]);
+        Rng::seed_from_u64(seed).fill_normal_f32(t.data_mut(), 1.0);
+        t
+    }
+
+    #[test]
+    fn forward_shapes_and_trace_agree() {
+        let m = tiny_model(0);
+        let x = random_input(1);
+        let y = m.forward(&x);
+        assert_eq!(y.len(), 3);
+        let (inputs, y2) = m.forward_trace(&x);
+        assert_eq!(inputs.len(), 3);
+        assert_eq!(y, y2);
+        assert_eq!(inputs[0], x);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let m = tiny_model(2);
+        let x = random_input(3);
+        let (_, dx) = m.input_gradient(&x, 1);
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = crate::loss::cross_entropy(&m.forward(&xp), 1);
+            let lm = crate::loss::cross_entropy(&m.forward(&xm), 1);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-2 * (1.0 + num.abs()),
+                "dim {i}: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let m = tiny_model(4);
+        let x = random_input(5);
+        let (_, grads) = m.loss_and_grads(&x, 0);
+        let eps = 1e-3;
+        // Check a handful of weights in the first dense layer.
+        for j in [0usize, 5, 13, 31] {
+            let mut mp = m.clone();
+            mp.layers[0].params_mut()[0].data_mut()[j] += eps;
+            let mut mm = m.clone();
+            mm.layers[0].params_mut()[0].data_mut()[j] -= eps;
+            let lp = crate::loss::cross_entropy(&mp.forward(&x), 0);
+            let lm = crate::loss::cross_entropy(&mm.forward(&x), 0);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.layers[0][0].data()[j];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "{num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let mut m = tiny_model(6);
+        let x = random_input(7);
+        let (l0, g) = m.loss_and_grads(&x, 2);
+        m.apply_grads(&g, 0.1);
+        let (l1, _) = m.loss_and_grads(&x, 2);
+        assert!(l1 < l0, "loss must drop: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn grad_buffer_accumulate_and_scale() {
+        let m = tiny_model(8);
+        let x = random_input(9);
+        let (_, g1) = m.loss_and_grads(&x, 0);
+        let mut acc = m.zero_grads();
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        // acc should now equal g1.
+        for (a, b) in acc.layers.iter().flatten().zip(g1.layers.iter().flatten()) {
+            for (&va, &vb) in a.data().iter().zip(b.data()) {
+                assert!((va - vb).abs() < 1e-6);
+            }
+        }
+        assert!(acc.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn num_params_counts_all() {
+        let m = tiny_model(10);
+        // dense(4->8): 32+8, dense(8->3): 24+3
+        assert_eq!(m.num_params(), 32 + 8 + 24 + 3);
+        assert!(m.summary().contains("dense"));
+    }
+}

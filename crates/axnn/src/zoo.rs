@@ -1,0 +1,179 @@
+//! The paper's model architectures.
+//!
+//! * [`lenet5`] — "two sets of convolutional and average pooling layers,
+//!   followed by a flattening convolutional layer, two fully-connected
+//!   layers and a softmax classifier" (paper §IV.A), for 1x28x28 inputs.
+//! * [`alexnet_mini`] — "five convolutional layers, three average pooling
+//!   layers, and two fully connected layers" (paper §IV.A), scaled to
+//!   3x32x32 CIFAR-shaped inputs so CPU training stays tractable.
+//! * [`ffnn`] — the feed-forward network of the motivational case study
+//!   (Fig 1).
+
+use axutil::rng::Rng;
+
+use crate::layer::{AvgPool2d, Conv2d, Dense, Layer};
+use crate::model::Sequential;
+
+/// LeNet-5 for `[1, 28, 28]` inputs, 10 classes.
+///
+/// Topology: conv(6@5x5) → relu → avgpool2 → conv(16@5x5) → relu →
+/// avgpool2 → conv(120@4x4, the flattening conv) → relu → flatten →
+/// dense(84) → relu → dense(10).
+pub fn lenet5(rng: &mut Rng) -> Sequential {
+    lenet5_for(1, 28, rng)
+}
+
+/// LeNet-5 generalized to `[in_c, hw, hw]` inputs with `hw` 28 or 32
+/// (the 32-pixel variant serves the CIFAR column of the transferability
+/// study; the flattening conv adapts its kernel so the output is 1x1).
+///
+/// # Panics
+///
+/// Panics if `hw` is not 28 or 32.
+pub fn lenet5_for(in_c: usize, hw: usize, rng: &mut Rng) -> Sequential {
+    // 28: 24 -> 12 -> 8 -> 4, flatten-conv k=4; 32: 28 -> 14 -> 10 -> 5, k=5.
+    let flatten_k = match hw {
+        28 => 4,
+        32 => 5,
+        other => panic!("lenet5_for supports 28 or 32 pixel inputs, got {other}"),
+    };
+    Sequential::new(
+        format!("lenet5-{in_c}x{hw}"),
+        vec![
+            Layer::Conv2d(Conv2d::new(in_c, 6, 5, 1, 0, rng)),
+            Layer::Relu,
+            Layer::AvgPool(AvgPool2d::new(2)),
+            Layer::Conv2d(Conv2d::new(6, 16, 5, 1, 0, rng)),
+            Layer::Relu,
+            Layer::AvgPool(AvgPool2d::new(2)),
+            Layer::Conv2d(Conv2d::new(16, 120, flatten_k, 1, 0, rng)),
+            Layer::Relu,
+            Layer::Flatten,
+            Layer::Dense(Dense::new(120, 84, rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(84, 10, rng)),
+        ],
+    )
+}
+
+/// A compact AlexNet-style CNN for `[3, 32, 32]` inputs, 10 classes:
+/// five convolutions, three average pools, two fully connected layers.
+pub fn alexnet_mini(rng: &mut Rng) -> Sequential {
+    alexnet_mini_for(3, rng)
+}
+
+/// AlexNet-mini generalized to `[in_c, 32, 32]` inputs (the 1-channel
+/// variant serves the MNIST column of the transferability study, fed
+/// with 28x28 images zero-padded to 32x32).
+pub fn alexnet_mini_for(in_c: usize, rng: &mut Rng) -> Sequential {
+    Sequential::new(
+        format!("alexnet-mini-{in_c}ch"),
+        vec![
+            Layer::Conv2d(Conv2d::new(in_c, 16, 3, 1, 1, rng)), // 32
+            Layer::Relu,
+            Layer::AvgPool(AvgPool2d::new(2)), // 16
+            Layer::Conv2d(Conv2d::new(16, 32, 3, 1, 1, rng)),
+            Layer::Relu,
+            Layer::AvgPool(AvgPool2d::new(2)), // 8
+            Layer::Conv2d(Conv2d::new(32, 48, 3, 1, 1, rng)),
+            Layer::Relu,
+            Layer::Conv2d(Conv2d::new(48, 48, 3, 1, 1, rng)),
+            Layer::Relu,
+            Layer::Conv2d(Conv2d::new(48, 32, 3, 1, 1, rng)),
+            Layer::Relu,
+            Layer::AvgPool(AvgPool2d::new(2)), // 4
+            Layer::Flatten,                    // 32*4*4 = 512
+            Layer::Dense(Dense::new(512, 256, rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(256, 10, rng)),
+        ],
+    )
+}
+
+/// The motivational-study feed-forward network for `[1, 28, 28]` inputs:
+/// flatten → dense(300) → relu → dense(100) → relu → dense(10).
+pub fn ffnn(rng: &mut Rng) -> Sequential {
+    Sequential::new(
+        "ffnn",
+        vec![
+            Layer::Flatten,
+            Layer::Dense(Dense::new(784, 300, rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(300, 100, rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(100, 10, rng)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axtensor::Tensor;
+
+    #[test]
+    fn lenet_shapes_flow() {
+        let m = lenet5(&mut Rng::seed_from_u64(0));
+        let y = m.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(y.len(), 10);
+        // conv1 156 + conv2 2416 + conv3 30840 + fc1 10164 + fc2 850
+        assert_eq!(m.num_params(), 156 + 2416 + 30840 + 10164 + 850);
+    }
+
+    #[test]
+    fn alexnet_shapes_flow() {
+        let m = alexnet_mini(&mut Rng::seed_from_u64(0));
+        let y = m.forward(&Tensor::zeros(&[3, 32, 32]));
+        assert_eq!(y.len(), 10);
+        let convs = m
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == "conv2d")
+            .count();
+        let pools = m
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == "avgpool")
+            .count();
+        let dense = m.layers().iter().filter(|l| l.kind() == "dense").count();
+        assert_eq!((convs, pools, dense), (5, 3, 2), "paper §IV.A topology");
+    }
+
+    #[test]
+    fn ffnn_shapes_flow() {
+        let m = ffnn(&mut Rng::seed_from_u64(0));
+        let y = m.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(y.len(), 10);
+        assert_eq!(
+            m.num_params(),
+            784 * 300 + 300 + 300 * 100 + 100 + 100 * 10 + 10
+        );
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = lenet5(&mut Rng::seed_from_u64(42));
+        let b = lenet5(&mut Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lenet_variant_for_cifar_shapes_flow() {
+        let m = lenet5_for(3, 32, &mut Rng::seed_from_u64(1));
+        let y = m.forward(&Tensor::zeros(&[3, 32, 32]));
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    fn alexnet_variant_for_mnist_shapes_flow() {
+        let m = alexnet_mini_for(1, &mut Rng::seed_from_u64(2));
+        let y = m.forward(&Tensor::zeros(&[1, 32, 32]));
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "28 or 32")]
+    fn lenet_variant_rejects_odd_sizes() {
+        let _ = lenet5_for(1, 30, &mut Rng::seed_from_u64(3));
+    }
+}

@@ -1,0 +1,48 @@
+//! 8-bit fixed-point quantization and integer inference — the
+//! TFApprox substitution.
+//!
+//! The paper's pipeline (Fig 3 and Algorithm 1) trains in float with
+//! accurate multipliers, applies fixed-point quantization to the inference
+//! model, and replaces the conv-layer multipliers with approximate parts.
+//! This crate implements that inference engine:
+//!
+//! * [`qparams`] — symmetric quantization scales and the max-abs
+//!   calibrator.
+//! * [`qmodel`] — [`qmodel::QuantModel`]: an int8 mirror of a
+//!   float [`axnn::Sequential`]. Weights are i8 (stored sign/magnitude),
+//!   activations are u8 (post-ReLU), accumulators are i32, and every
+//!   conv/dense MAC routes through a pluggable
+//!   [`MulKernel`](axmul::kernel::MulKernel) — the exact kernel gives the
+//!   quantized accurate DNN, a LUT from `axmul::registry` gives an AxDNN.
+//! * [`placement`] — where approximation applies (conv layers only, as in
+//!   the paper, or everywhere).
+//!
+//! # Examples
+//!
+//! ```
+//! use axnn::zoo;
+//! use axquant::qmodel::QuantModel;
+//! use axquant::placement::Placement;
+//! use axmul::ExactMul;
+//! use axtensor::Tensor;
+//! use axutil::rng::Rng;
+//!
+//! # fn main() -> Result<(), axutil::AxError> {
+//! let model = zoo::lenet5(&mut Rng::seed_from_u64(0));
+//! let calib = vec![Tensor::full(&[1, 28, 28], 0.5)];
+//! let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly)?;
+//! let logits = qm.forward_with(&Tensor::full(&[1, 28, 28], 0.5), &ExactMul);
+//! assert_eq!(logits.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod placement;
+pub mod qlevel;
+pub mod qmodel;
+pub mod qparams;
+
+pub use placement::Placement;
+pub use qlevel::QLevel;
+pub use qmodel::QuantModel;
+pub use qparams::QuantParams;

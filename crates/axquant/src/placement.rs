@@ -1,0 +1,61 @@
+//! Where the approximate multiplier applies.
+
+/// Approximation placement policy.
+///
+/// The paper replaces multipliers *in the convolutional layers* only
+/// (§IV.A); [`Placement::All`] extends them to dense layers as an
+/// ablation (see the `ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Approximate multipliers in convolution layers; dense layers stay
+    /// exact. This is the paper's configuration.
+    #[default]
+    ConvOnly,
+    /// Approximate multipliers in convolution *and* dense layers.
+    All,
+}
+
+impl Placement {
+    /// Whether conv layers use the approximate kernel.
+    pub fn applies_to_conv(self) -> bool {
+        true
+    }
+
+    /// Whether dense layers use the approximate kernel.
+    pub fn applies_to_dense(self) -> bool {
+        matches!(self, Placement::All)
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::ConvOnly => write!(f, "conv-only"),
+            Placement::All => write!(f, "all-layers"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_only_is_default_and_paper_mode() {
+        assert_eq!(Placement::default(), Placement::ConvOnly);
+        assert!(Placement::ConvOnly.applies_to_conv());
+        assert!(!Placement::ConvOnly.applies_to_dense());
+    }
+
+    #[test]
+    fn all_extends_to_dense() {
+        assert!(Placement::All.applies_to_dense());
+        assert!(Placement::All.applies_to_conv());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Placement::ConvOnly.to_string(), "conv-only");
+        assert_eq!(Placement::All.to_string(), "all-layers");
+    }
+}

@@ -1,0 +1,673 @@
+//! The int8 inference engine with pluggable multipliers.
+
+use axdata::Dataset;
+use axmul::kernel::{ExactMul, MulKernel};
+use axnn::layer::Layer;
+use axnn::model::Sequential;
+use axtensor::stats::MaxAbs;
+use axtensor::Tensor;
+use axutil::{parallel, AxError};
+
+use crate::placement::Placement;
+use crate::qlevel::QLevel;
+
+/// Quantized weights of one conv/dense layer, stored sign/magnitude so
+/// magnitudes can be fed straight to an unsigned 8x8 multiplier — the
+/// paper's configuration ("state-of-the-art *unsigned* approximate
+/// multipliers").
+#[derive(Debug, Clone, PartialEq)]
+struct QWeights {
+    sign: Vec<i8>, // +1 or -1
+    mag: Vec<u8>,  // |w| quantized, <= 127
+    bias_q: Vec<i32>,
+    /// requant multiplier `s_w * s_in / s_out`; `None` for the final layer
+    /// (output dequantized to f32 instead).
+    requant: Option<f32>,
+    /// dequantization scale `s_w * s_in` for the final layer.
+    dequant: f32,
+    /// largest activation code of the output (`2^a - 1` as f32).
+    act_qmax: f32,
+}
+
+impl QWeights {
+    fn build(
+        weight: &Tensor,
+        bias: &Tensor,
+        in_scale: f32,
+        out_scale: Option<f32>,
+        level: QLevel,
+    ) -> Self {
+        let wp = level.weight_params(weight.max_abs());
+        let wmax = level.weight_qmax();
+        let q: Vec<i8> = weight
+            .data()
+            .iter()
+            .map(|&v| (v / wp.scale()).round().clamp(-wmax as f32, wmax as f32) as i8)
+            .collect();
+        let sign: Vec<i8> = q.iter().map(|&v| if v < 0 { -1 } else { 1 }).collect();
+        let mag: Vec<u8> = q.iter().map(|&v| v.unsigned_abs()).collect();
+        let prod_scale = wp.scale() * in_scale;
+        let bias_q: Vec<i32> = bias
+            .data()
+            .iter()
+            .map(|&b| (b / prod_scale).round() as i32)
+            .collect();
+        QWeights {
+            sign,
+            mag,
+            bias_q,
+            requant: out_scale.map(|s| prod_scale / s),
+            dequant: prod_scale,
+            act_qmax: level.act_qmax() as f32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum QLayer {
+    Conv {
+        w: QWeights,
+        out_c: usize,
+        in_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    },
+    Dense {
+        w: QWeights,
+        out_dim: usize,
+        in_dim: usize,
+    },
+    AvgPool {
+        k: usize,
+    },
+    Flatten,
+}
+
+/// A u8 activation map flowing between quantized layers.
+#[derive(Debug, Clone)]
+struct QAct {
+    data: Vec<u8>,
+    dims: Vec<usize>,
+}
+
+/// An 8-bit fixed-point mirror of a float [`Sequential`].
+///
+/// Built once from the float model plus a calibration set; evaluated with
+/// any [`MulKernel`]. The same `QuantModel` therefore serves as the
+/// quantized accurate DNN (exact kernel) and as every AxDNN (LUT kernels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantModel {
+    name: String,
+    placement: Placement,
+    level: QLevel,
+    input_scale: f32,
+    input_qmax: f32,
+    qlayers: Vec<QLayer>,
+}
+
+impl QuantModel {
+    /// Quantizes a float model.
+    ///
+    /// `calib` images (float `[C, H, W]` in `[0, 1]`) are run through the
+    /// float model to pick per-layer activation scales (max-abs
+    /// calibration). The supported topology is the paper's: every conv and
+    /// every non-final dense layer is immediately followed by ReLU, pools
+    /// are average pools, and the network ends in a dense layer producing
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Config`] for unsupported topologies and when
+    /// `calib` is empty.
+    pub fn from_float(
+        model: &Sequential,
+        calib: &[Tensor],
+        placement: Placement,
+    ) -> Result<Self, AxError> {
+        Self::from_float_with_level(model, calib, placement, QLevel::INT8)
+    }
+
+    /// Like [`QuantModel::from_float`] with an explicit quantization
+    /// level — the `Qlevel` input of the paper's Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantModel::from_float`].
+    pub fn from_float_with_level(
+        model: &Sequential,
+        calib: &[Tensor],
+        placement: Placement,
+        level: QLevel,
+    ) -> Result<Self, AxError> {
+        if calib.is_empty() {
+            return Err(AxError::config("calibration set is empty"));
+        }
+        let layers = model.layers();
+        // Calibrate: record, for every layer output index, the max-abs
+        // activation over the calibration set.
+        let mut out_max: Vec<MaxAbs> = vec![MaxAbs::new(); layers.len()];
+        for img in calib {
+            let (inputs, logits) = model.forward_trace(img);
+            for (i, m) in out_max.iter_mut().enumerate() {
+                if i + 1 < layers.len() {
+                    m.update(&inputs[i + 1]);
+                } else {
+                    m.update(&logits);
+                }
+            }
+        }
+
+        let input_qmax = level.act_qmax() as f32;
+        let input_scale = 1.0 / input_qmax;
+        let mut qlayers = Vec::new();
+        let mut in_scale = input_scale;
+        let mut i = 0;
+        while i < layers.len() {
+            match &layers[i] {
+                Layer::Conv2d(c) => {
+                    // Conv must be followed by ReLU (the paper's nets are).
+                    if !matches!(layers.get(i + 1), Some(Layer::Relu)) {
+                        return Err(AxError::config(format!(
+                            "conv at layer {i} is not followed by relu"
+                        )));
+                    }
+                    let post_relu_max = out_max[i + 1].value();
+                    let out_scale = level.act_params(post_relu_max).scale();
+                    let dims = c.weight().dims();
+                    qlayers.push(QLayer::Conv {
+                        w: QWeights::build(c.weight(), c.bias(), in_scale, Some(out_scale), level),
+                        out_c: dims[0],
+                        in_c: dims[1],
+                        k: dims[2],
+                        stride: c.stride(),
+                        pad: c.pad(),
+                    });
+                    in_scale = out_scale;
+                    i += 2; // skip the fused relu
+                }
+                Layer::Dense(d) => {
+                    let is_final = i + 1 == layers.len();
+                    let fused_relu = matches!(layers.get(i + 1), Some(Layer::Relu));
+                    if !is_final && !fused_relu {
+                        return Err(AxError::config(format!(
+                            "dense at layer {i} is neither final nor followed by relu"
+                        )));
+                    }
+                    let dims = d.weight().dims();
+                    if is_final {
+                        qlayers.push(QLayer::Dense {
+                            w: QWeights::build(d.weight(), d.bias(), in_scale, None, level),
+                            out_dim: dims[0],
+                            in_dim: dims[1],
+                        });
+                        i += 1;
+                    } else {
+                        let post_relu_max = out_max[i + 1].value();
+                        let out_scale = level.act_params(post_relu_max).scale();
+                        qlayers.push(QLayer::Dense {
+                            w: QWeights::build(d.weight(), d.bias(), in_scale, Some(out_scale), level),
+                            out_dim: dims[0],
+                            in_dim: dims[1],
+                        });
+                        in_scale = out_scale;
+                        i += 2;
+                    }
+                }
+                Layer::AvgPool(p) => {
+                    qlayers.push(QLayer::AvgPool { k: p.k() });
+                    i += 1;
+                }
+                Layer::Flatten => {
+                    qlayers.push(QLayer::Flatten);
+                    i += 1;
+                }
+                Layer::Relu => {
+                    return Err(AxError::config(format!(
+                        "relu at layer {i} does not follow a conv/dense layer"
+                    )));
+                }
+            }
+        }
+        match qlayers.last() {
+            Some(QLayer::Dense { w, .. }) if w.requant.is_none() => {}
+            _ => {
+                return Err(AxError::config(
+                    "network must end in a dense logits layer",
+                ))
+            }
+        }
+        Ok(QuantModel {
+            name: format!("{}-{level}", model.name()),
+            placement,
+            level,
+            input_scale,
+            input_qmax,
+            qlayers,
+        })
+    }
+
+    /// The quantization level.
+    pub fn level(&self) -> QLevel {
+        self.level
+    }
+
+    /// The model name (float name + `-q8`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The approximation placement policy.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Runs quantized inference with the given multiplier kernel and
+    /// returns float logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the expected input layout.
+    pub fn forward_with<K: MulKernel + ?Sized>(&self, x: &Tensor, kernel: &K) -> Tensor {
+        let qmax = self.input_qmax;
+        let mut act = QAct {
+            data: x
+                .data()
+                .iter()
+                .map(|&v| (v * qmax).round().clamp(0.0, qmax) as u8)
+                .collect(),
+            dims: x.dims().to_vec(),
+        };
+        let exact = ExactMul;
+        for (li, ql) in self.qlayers.iter().enumerate() {
+            match ql {
+                QLayer::Conv {
+                    w,
+                    out_c,
+                    in_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    act = if self.placement.applies_to_conv() {
+                        conv_forward(&act, w, *out_c, *in_c, *k, *stride, *pad, kernel)
+                    } else {
+                        conv_forward(&act, w, *out_c, *in_c, *k, *stride, *pad, &exact)
+                    };
+                }
+                QLayer::Dense { w, out_dim, in_dim } => {
+                    let use_approx = self.placement.applies_to_dense();
+                    if w.requant.is_some() {
+                        act = if use_approx {
+                            dense_forward(&act, w, *out_dim, *in_dim, kernel)
+                        } else {
+                            dense_forward(&act, w, *out_dim, *in_dim, &exact)
+                        };
+                    } else {
+                        // Final logits layer.
+                        debug_assert_eq!(li, self.qlayers.len() - 1);
+                        return if use_approx {
+                            dense_logits(&act, w, *out_dim, *in_dim, kernel)
+                        } else {
+                            dense_logits(&act, w, *out_dim, *in_dim, &exact)
+                        };
+                    }
+                }
+                QLayer::AvgPool { k } => act = avgpool_forward(&act, *k),
+                QLayer::Flatten => {
+                    let n = act.data.len();
+                    act.dims = vec![n];
+                }
+            }
+        }
+        unreachable!("final dense layer returns early");
+    }
+
+    /// Predicted class under the given kernel.
+    pub fn predict_with<K: MulKernel + ?Sized>(&self, x: &Tensor, kernel: &K) -> usize {
+        self.forward_with(x, kernel).argmax()
+    }
+
+    /// Accuracy over (up to `max_n` examples of) a dataset, in parallel.
+    pub fn accuracy_with<K: MulKernel + ?Sized>(
+        &self,
+        data: &Dataset,
+        kernel: &K,
+        max_n: usize,
+    ) -> f32 {
+        let n = data.len().min(max_n);
+        if n == 0 {
+            return 0.0;
+        }
+        let correct = parallel::par_reduce(
+            n,
+            || 0usize,
+            |acc, i| acc + usize::from(self.predict_with(data.image(i), kernel) == data.label(i)),
+            |a, b| a + b,
+        );
+        correct as f32 / n as f32
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_forward<K: MulKernel + ?Sized>(
+    x: &QAct,
+    w: &QWeights,
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    kernel: &K,
+) -> QAct {
+    let [ic, h, wd] = x.dims[..] else {
+        panic!("conv input must be [C, H, W]");
+    };
+    assert_eq!(ic, in_c, "conv channel mismatch");
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (wd + 2 * pad - k) / stride + 1;
+    let m = w.requant.expect("conv layers always requantize");
+    let mut out = vec![0u8; out_c * oh * ow];
+    let (s, p) = (stride as isize, pad as isize);
+    for o in 0..out_c {
+        let w_base = o * in_c * k * k;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i32 = w.bias_q[o];
+                for c in 0..in_c {
+                    let x_base = c * h * wd;
+                    let wc_base = w_base + c * k * k;
+                    for ky in 0..k {
+                        let iy = oy as isize * s + ky as isize - p;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = x_base + iy as usize * wd;
+                        let w_row = wc_base + ky * k;
+                        for kx in 0..k {
+                            let ix = ox as isize * s + kx as isize - p;
+                            if ix < 0 || ix >= wd as isize {
+                                continue;
+                            }
+                            let wi = w_row + kx;
+                            let a = x.data[x_row + ix as usize];
+                            let prod = kernel.mul(w.mag[wi], a) as i32;
+                            acc += w.sign[wi] as i32 * prod;
+                        }
+                    }
+                }
+                // Fused ReLU: clamp below at 0 during requantization.
+                out[(o * oh + oy) * ow + ox] =
+                    (acc as f32 * m).round().clamp(0.0, w.act_qmax) as u8;
+            }
+        }
+    }
+    QAct {
+        data: out,
+        dims: vec![out_c, oh, ow],
+    }
+}
+
+fn dense_forward<K: MulKernel + ?Sized>(
+    x: &QAct,
+    w: &QWeights,
+    out_dim: usize,
+    in_dim: usize,
+    kernel: &K,
+) -> QAct {
+    assert_eq!(x.data.len(), in_dim, "dense input size mismatch");
+    let m = w.requant.expect("non-final dense requantizes");
+    let mut out = vec![0u8; out_dim];
+    for (o, ov) in out.iter_mut().enumerate() {
+        let acc = dense_acc(x, w, o, in_dim, kernel);
+        *ov = (acc as f32 * m).round().clamp(0.0, w.act_qmax) as u8;
+    }
+    QAct {
+        data: out,
+        dims: vec![out_dim],
+    }
+}
+
+fn dense_logits<K: MulKernel + ?Sized>(
+    x: &QAct,
+    w: &QWeights,
+    out_dim: usize,
+    in_dim: usize,
+    kernel: &K,
+) -> Tensor {
+    assert_eq!(x.data.len(), in_dim, "dense input size mismatch");
+    let mut out = vec![0f32; out_dim];
+    for (o, ov) in out.iter_mut().enumerate() {
+        let acc = dense_acc(x, w, o, in_dim, kernel);
+        *ov = acc as f32 * w.dequant;
+    }
+    Tensor::from_vec(out, &[out_dim])
+}
+
+#[inline]
+fn dense_acc<K: MulKernel + ?Sized>(
+    x: &QAct,
+    w: &QWeights,
+    o: usize,
+    in_dim: usize,
+    kernel: &K,
+) -> i32 {
+    let mut acc: i32 = w.bias_q[o];
+    let row = o * in_dim;
+    for (i, &a) in x.data.iter().enumerate() {
+        let wi = row + i;
+        let prod = kernel.mul(w.mag[wi], a) as i32;
+        acc += w.sign[wi] as i32 * prod;
+    }
+    acc
+}
+
+fn avgpool_forward(x: &QAct, k: usize) -> QAct {
+    let [c, h, w] = x.dims[..] else {
+        panic!("pool input must be [C, H, W]");
+    };
+    assert!(h % k == 0 && w % k == 0, "pool window does not tile input");
+    let (oh, ow) = (h / k, w / k);
+    let div = (k * k) as u32;
+    let mut out = vec![0u8; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: u32 = 0;
+                for dy in 0..k {
+                    let row = (ch * h + oy * k + dy) * w + ox * k;
+                    for dx in 0..k {
+                        acc += x.data[row + dx] as u32;
+                    }
+                }
+                // Round-to-nearest integer average; scale is unchanged.
+                out[(ch * oh + oy) * ow + ox] = ((acc + div / 2) / div) as u8;
+            }
+        }
+    }
+    QAct {
+        data: out,
+        dims: vec![c, oh, ow],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn::layer::{Conv2d, Dense};
+    use axnn::zoo;
+    use axutil::rng::Rng;
+
+    fn calib_images(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut t = Tensor::zeros(dims);
+                rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn final_dense_only_model_matches_float_logits() {
+        // flatten -> dense(4 -> 3): quantized logits must approximate the
+        // float logits to within a few LSBs of the involved scales.
+        let mut rng = Rng::seed_from_u64(1);
+        let model = Sequential::new(
+            "lin",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(4, 3, &mut rng)),
+            ],
+        );
+        let calib = calib_images(8, &[1, 2, 2], 2);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        for img in calib_images(5, &[1, 2, 2], 3) {
+            let fl = model.forward(&img);
+            let ql = qm.forward_with(&img, &ExactMul);
+            for (a, b) in fl.data().iter().zip(ql.data()) {
+                assert!((a - b).abs() < 0.05, "float {a} vs quant {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lenet_quantization_preserves_predictions_mostly() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(4));
+        let calib = calib_images(6, &[1, 28, 28], 5);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let mut agree = 0;
+        let probes = calib_images(10, &[1, 28, 28], 6);
+        for img in &probes {
+            if model.predict(img) == qm.predict_with(img, &ExactMul) {
+                agree += 1;
+            }
+        }
+        // Untrained logits are small; quantization noise may flip a few.
+        assert!(agree >= 6, "only {agree}/10 predictions agree");
+    }
+
+    #[test]
+    fn exact_lut_is_bit_identical_to_builtin_mul() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(7));
+        let calib = calib_images(4, &[1, 28, 28], 8);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let lut = axmul::MulLut::exact();
+        for img in calib_images(4, &[1, 28, 28], 9) {
+            assert_eq!(
+                qm.forward_with(&img, &ExactMul),
+                qm.forward_with(&img, &lut)
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_kernel_changes_logits() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(10));
+        let calib = calib_images(4, &[1, 28, 28], 11);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let approx = axmul::Registry::standard().build_lut("L40").unwrap();
+        let img = &calib[0];
+        assert_ne!(
+            qm.forward_with(img, &ExactMul),
+            qm.forward_with(img, &approx)
+        );
+    }
+
+    #[test]
+    fn conv_only_placement_ignores_kernel_in_dense_net() {
+        // The FFNN has no conv layer, so with ConvOnly placement an
+        // approximate kernel must change nothing.
+        let model = zoo::ffnn(&mut Rng::seed_from_u64(12));
+        let calib = calib_images(4, &[1, 28, 28], 13);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let approx = axmul::Registry::standard().build_lut("L40").unwrap();
+        let img = &calib[0];
+        assert_eq!(
+            qm.forward_with(img, &ExactMul),
+            qm.forward_with(img, &approx)
+        );
+        // With Placement::All it must matter.
+        let qm_all = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+        assert_ne!(
+            qm_all.forward_with(img, &ExactMul),
+            qm_all.forward_with(img, &approx)
+        );
+    }
+
+    #[test]
+    fn unsupported_topologies_are_rejected() {
+        let mut rng = Rng::seed_from_u64(14);
+        // Conv not followed by relu.
+        let bad1 = Sequential::new(
+            "bad1",
+            vec![
+                Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, &mut rng)),
+                Layer::Flatten,
+                Layer::Dense(Dense::new(2 * 4 * 4, 2, &mut rng)),
+            ],
+        );
+        let calib = calib_images(2, &[1, 4, 4], 15);
+        assert!(QuantModel::from_float(&bad1, &calib, Placement::ConvOnly).is_err());
+        // Network not ending in dense.
+        let bad2 = Sequential::new("bad2", vec![Layer::Flatten]);
+        assert!(QuantModel::from_float(&bad2, &calib, Placement::ConvOnly).is_err());
+        // Empty calibration set.
+        let ok_model = Sequential::new(
+            "ok",
+            vec![Layer::Flatten, Layer::Dense(Dense::new(16, 2, &mut rng))],
+        );
+        assert!(QuantModel::from_float(&ok_model, &[], Placement::ConvOnly).is_err());
+    }
+
+    #[test]
+    fn lower_qlevel_degrades_gracefully() {
+        use crate::qlevel::QLevel;
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(20));
+        let calib = calib_images(4, &[1, 28, 28], 21);
+        let q8 = QuantModel::from_float_with_level(
+            &model, &calib, Placement::ConvOnly, QLevel::INT8,
+        )
+        .unwrap();
+        let q4 = QuantModel::from_float_with_level(
+            &model, &calib, Placement::ConvOnly, QLevel::new(4, 4),
+        )
+        .unwrap();
+        assert_eq!(q8.level(), QLevel::INT8);
+        assert_eq!(q4.level().to_string(), "w4a4");
+        let img = &calib[0];
+        let l8 = q8.forward_with(img, &ExactMul);
+        let l4 = q4.forward_with(img, &ExactMul);
+        assert!(l4.data().iter().all(|v| v.is_finite()));
+        // 4-bit logits differ from 8-bit logits (coarser codes).
+        assert_ne!(l8, l4);
+        // And the float reference is closer to 8-bit than to 4-bit.
+        let fl = model.forward(img);
+        let d8 = fl.l2_dist(&l8);
+        let d4 = fl.l2_dist(&l4);
+        assert!(d8 <= d4, "w8a8 should track float at least as well: {d8} vs {d4}");
+    }
+
+    #[test]
+    fn avgpool_math_is_rounded_mean() {
+        let x = QAct {
+            data: vec![10, 20, 30, 41],
+            dims: vec![1, 2, 2],
+        };
+        let y = avgpool_forward(&x, 2);
+        // (10+20+30+41+2)/4 = 25.75 -> 25 (integer round-half-up of 25.25? 101/4 = 25.25 -> 25)
+        assert_eq!(y.data, vec![25]);
+        assert_eq!(y.dims, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn lenet_topology_quantizes_with_pools() {
+        let model = zoo::alexnet_mini(&mut Rng::seed_from_u64(16));
+        let calib = calib_images(2, &[3, 32, 32], 17);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let logits = qm.forward_with(&calib[0], &ExactMul);
+        assert_eq!(logits.len(), 10);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+}

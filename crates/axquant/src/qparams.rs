@@ -1,0 +1,115 @@
+//! Symmetric quantization parameters and calibration.
+
+use axtensor::Tensor;
+
+/// A symmetric quantization scale: `real = q * scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Creates parameters from an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn from_scale(scale: f32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "bad scale {scale}");
+        QuantParams { scale }
+    }
+
+    /// Scale for signed i8 weights covering `[-max_abs, max_abs]`.
+    pub fn for_weights(max_abs: f32) -> Self {
+        Self::from_scale((max_abs / 127.0).max(1e-12))
+    }
+
+    /// Scale for unsigned u8 activations covering `[0, max]`.
+    pub fn for_activations(max: f32) -> Self {
+        Self::from_scale((max / 255.0).max(1e-12))
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value to i8 (round-to-nearest, saturating).
+    #[inline]
+    pub fn quantize_i8(&self, v: f32) -> i8 {
+        (v / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Quantizes one value to u8 (round-to-nearest, saturating).
+    #[inline]
+    pub fn quantize_u8(&self, v: f32) -> u8 {
+        (v / self.scale).round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Dequantizes an integer back to real.
+    #[inline]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a tensor to i8s.
+    pub fn quantize_tensor_i8(&self, t: &Tensor) -> Vec<i8> {
+        t.data().iter().map(|&v| self.quantize_i8(v)).collect()
+    }
+
+    /// Quantizes a tensor to u8s.
+    pub fn quantize_tensor_u8(&self, t: &Tensor) -> Vec<u8> {
+        t.data().iter().map(|&v| self.quantize_u8(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_roundtrip_error_is_within_half_lsb() {
+        let p = QuantParams::for_weights(2.0);
+        for &v in &[-2.0f32, -1.3, -0.01, 0.0, 0.5, 1.99, 2.0] {
+            let q = p.quantize_i8(v);
+            let back = p.dequantize(q as i32);
+            assert!((back - v).abs() <= p.scale() * 0.5 + 1e-6, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn activation_clamps_to_range() {
+        let p = QuantParams::for_activations(1.0);
+        assert_eq!(p.quantize_u8(-0.5), 0);
+        assert_eq!(p.quantize_u8(2.0), 255);
+        assert_eq!(p.quantize_u8(1.0), 255);
+        assert_eq!(p.quantize_u8(0.0), 0);
+    }
+
+    #[test]
+    fn weights_clamp_symmetrically() {
+        let p = QuantParams::for_weights(1.0);
+        assert_eq!(p.quantize_i8(-5.0), -127);
+        assert_eq!(p.quantize_i8(5.0), 127);
+    }
+
+    #[test]
+    fn zero_max_gives_tiny_but_valid_scale() {
+        let p = QuantParams::for_activations(0.0);
+        assert!(p.scale() > 0.0);
+        assert_eq!(p.quantize_u8(0.0), 0);
+    }
+
+    #[test]
+    fn tensor_quantization_matches_scalar() {
+        let p = QuantParams::for_weights(1.0);
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 0.5, 1.0], &[4]);
+        assert_eq!(p.quantize_tensor_i8(&t), vec![-127, 0, 64, 127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scale")]
+    fn nan_scale_rejected() {
+        let _ = QuantParams::from_scale(f32::NAN);
+    }
+}

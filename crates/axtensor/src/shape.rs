@@ -1,0 +1,145 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+/// A dense row-major tensor shape.
+///
+/// # Examples
+///
+/// ```
+/// use axtensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (empty tensors are never meaningful
+    /// in this workspace and zero dims usually indicate a bug).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in {dims:?}");
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Always false: zero dims are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Size of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Row-major linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&x, &d)) in idx.iter().zip(&self.dims).enumerate() {
+            assert!(x < d, "index {x} out of range for dim {i} (size {d})");
+            off = off * d + x;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::new(&[2, 3]);
+        let expect = [(0, 0, 0), (0, 1, 1), (0, 2, 2), (1, 0, 3), (1, 2, 5)];
+        for (i, j, off) in expect {
+            assert_eq!(s.offset(&[i, j]), off);
+        }
+    }
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[4, 5, 6]);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(&[1, 28, 28]).to_string(), "[1x28x28]");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_rejected() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn bad_rank_rejected() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.offset(&[1]);
+    }
+}

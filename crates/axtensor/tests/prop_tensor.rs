@@ -1,0 +1,74 @@
+//! Property-based tests of tensor algebra.
+
+use axtensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, n..=n)
+        .prop_map(move |v| Tensor::from_vec(v, &[n]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Triangle inequality for the l2 distance.
+    #[test]
+    fn l2_triangle(a in tensor_strategy(16), b in tensor_strategy(16), c in tensor_strategy(16)) {
+        let ab = a.l2_dist(&b);
+        let bc = b.l2_dist(&c);
+        let ac = a.l2_dist(&c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    /// linf norm bounds l2/sqrt(n) and is bounded by l2.
+    #[test]
+    fn norm_ordering(a in tensor_strategy(16)) {
+        prop_assert!(a.linf_norm() <= a.l2_norm() + 1e-4);
+        prop_assert!(a.l2_norm() <= a.linf_norm() * 4.0 + 1e-3); // sqrt(16) = 4
+    }
+
+    /// add then sub round-trips.
+    #[test]
+    fn add_sub_roundtrip(a in tensor_strategy(8), b in tensor_strategy(8)) {
+        let back = a.add(&b).sub(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Clamp is idempotent and bounded.
+    #[test]
+    fn clamp_idempotent(a in tensor_strategy(8), lo in -5.0f32..0.0, hi in 0.0f32..5.0) {
+        let c1 = a.clamped(lo, hi);
+        let c2 = c1.clamped(lo, hi);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(c1.data().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    /// matvec is linear: M(x + y) = Mx + My.
+    #[test]
+    fn matvec_linear(m in tensor_strategy(12), x in tensor_strategy(4), y in tensor_strategy(4)) {
+        let mat = m.reshaped(&[3, 4]);
+        let lhs = mat.matvec(&x.add(&y));
+        let rhs = mat.matvec(&x).add(&mat.matvec(&y));
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-2 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Dot with self equals squared l2 norm.
+    #[test]
+    fn dot_self_is_norm_sq(a in tensor_strategy(10)) {
+        let d = a.dot(&a);
+        let n = a.l2_norm();
+        prop_assert!((d - n * n).abs() < 1e-2 * (1.0 + d.abs()));
+    }
+
+    /// argmax points at a maximal element.
+    #[test]
+    fn argmax_is_max(a in tensor_strategy(9)) {
+        let i = a.argmax();
+        let m = a.data()[i];
+        prop_assert!(a.data().iter().all(|&v| v <= m));
+    }
+}

@@ -1,0 +1,309 @@
+//! A small explicit binary codec for model artifacts.
+//!
+//! All multi-byte values are little-endian. Strings are length-prefixed
+//! UTF-8. The codec is intentionally explicit (no reflection / derive) so
+//! that artifact layouts are obvious, versionable and bit-stable.
+//!
+//! # Examples
+//!
+//! ```
+//! use axutil::binio::{ByteReader, ByteWriter};
+//!
+//! # fn main() -> Result<(), axutil::AxError> {
+//! let mut w = ByteWriter::new();
+//! w.put_u32(7);
+//! w.put_str("conv1");
+//! w.put_f32_slice(&[1.0, -2.5]);
+//! let buf = w.into_bytes();
+//!
+//! let mut r = ByteReader::new(&buf);
+//! assert_eq!(r.get_u32()?, 7);
+//! assert_eq!(r.get_string()?, "conv1");
+//! assert_eq!(r.get_f32_vec()?, vec![1.0, -2.5]);
+//! # Ok(())
+//! # }
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::AxError;
+
+/// An append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: BytesMut,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Appends a little-endian IEEE-754 `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32_slice(&mut self, xs: &[f32]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.buf.put_f32_le(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, xs: &[u64]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.buf.put_u64_le(x);
+        }
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, xs: &[u8]) {
+        self.buf.put_slice(xs);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalizes the writer into an immutable byte buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over the given bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes remaining to be read.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<(), AxError> {
+        if self.buf.remaining() < n {
+            return Err(AxError::format(format!(
+                "truncated input: need {n} bytes for {what}, have {}",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] if the input is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, AxError> {
+        self.need(1, "u8")?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, AxError> {
+        self.need(4, "u32")?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, AxError> {
+        self.need(8, "u64")?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] if fewer than 4 bytes remain.
+    pub fn get_i32(&mut self) -> Result<i32, AxError> {
+        self.need(4, "i32")?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] if fewer than 4 bytes remain.
+    pub fn get_f32(&mut self) -> Result<f32, AxError> {
+        self.need(4, "f32")?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] on truncation or invalid UTF-8.
+    pub fn get_string(&mut self) -> Result<String, AxError> {
+        let n = self.get_u32()? as usize;
+        self.need(n, "string body")?;
+        let (head, tail) = self.buf.split_at(n);
+        let s = std::str::from_utf8(head)
+            .map_err(|e| AxError::format(format!("invalid utf-8 in string: {e}")))?
+            .to_owned();
+        self.buf = tail;
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] on truncation.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, AxError> {
+        let n = self.get_u64()? as usize;
+        self.need(n.saturating_mul(4), "f32 vector body")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_f32_le());
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxError::Format`] on truncation.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, AxError> {
+        let n = self.get_u64()? as usize;
+        self.need(n.saturating_mul(8), "u64 vector body")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u64_le());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i32(-12345);
+        w.put_f32(std::f32::consts::PI);
+        w.put_str("lenet5/conv1");
+        w.put_f32_slice(&[1.0, 2.0, -0.5]);
+        w.put_u64_slice(&[3, 1, 4]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i32().unwrap(), -12345);
+        assert_eq!(r.get_f32().unwrap(), std::f32::consts::PI);
+        assert_eq!(r.get_string().unwrap(), "lenet5/conv1");
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.0, 2.0, -0.5]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![3, 1, 4]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u32(40);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        // The prefix says "40-byte string" but no body follows.
+        assert!(r.get_string().is_err());
+    }
+
+    #[test]
+    fn empty_reader_errors() {
+        let mut r = ByteReader::new(&[]);
+        assert!(r.get_u8().is_err());
+        assert!(r.get_u32().is_err());
+        assert!(r.get_f32_vec().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_string().is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_roundtrip_bitwise() {
+        let mut w = ByteWriter::new();
+        w.put_f32(f32::NAN);
+        w.put_f32(f32::INFINITY);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_f32().unwrap().is_nan());
+        assert_eq!(r.get_f32().unwrap(), f32::INFINITY);
+    }
+}

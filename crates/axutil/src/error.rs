@@ -1,0 +1,97 @@
+//! The shared error type for the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the AxDNN reproduction crates.
+///
+/// The variants are deliberately coarse: this is a research codebase and
+/// callers mostly either propagate or print. Every variant carries a
+/// human-readable message.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AxError {
+    /// An I/O failure (artifact load/store).
+    Io(std::io::Error),
+    /// A malformed serialized artifact (bad magic, truncated, wrong version).
+    Format(String),
+    /// Incompatible tensor/layer shapes.
+    Shape(String),
+    /// An invalid configuration value.
+    Config(String),
+}
+
+impl AxError {
+    /// Creates a [`AxError::Format`] from any displayable message.
+    pub fn format(msg: impl fmt::Display) -> Self {
+        AxError::Format(msg.to_string())
+    }
+
+    /// Creates a [`AxError::Shape`] from any displayable message.
+    pub fn shape(msg: impl fmt::Display) -> Self {
+        AxError::Shape(msg.to_string())
+    }
+
+    /// Creates a [`AxError::Config`] from any displayable message.
+    pub fn config(msg: impl fmt::Display) -> Self {
+        AxError::Config(msg.to_string())
+    }
+}
+
+impl fmt::Display for AxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxError::Io(e) => write!(f, "i/o error: {e}"),
+            AxError::Format(m) => write!(f, "malformed artifact: {m}"),
+            AxError::Shape(m) => write!(f, "shape mismatch: {m}"),
+            AxError::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AxError {
+    fn from(e: std::io::Error) -> Self {
+        AxError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            AxError::format("bad magic"),
+            AxError::shape("2x3 vs 4x5"),
+            AxError::config("epsilon must be >= 0"),
+            AxError::from(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AxError>();
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = AxError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

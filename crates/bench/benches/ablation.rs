@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! (a) approximation placement conv-only vs all layers;
+//! (b) LUT-based MACs vs direct gate-level netlist evaluation;
+//! (c) truncation vs LOA error structure at matched MAE.
+
+use axcirc::{ApproxSpec, ArrayMultiplier};
+use axmul::kernel::MulKernel;
+use axmul::{MulLut, Registry};
+use axnn::zoo;
+use axquant::{Placement, QuantModel};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A kernel that evaluates the gate-level netlist on every MAC — what
+/// inference would cost without LUT flattening.
+struct NetlistKernel {
+    nl: axcirc::Netlist,
+}
+
+impl MulKernel for NetlistKernel {
+    fn mul(&self, a: u8, b: u8) -> u16 {
+        self.nl.eval_bits(((b as u64) << 8) | a as u64) as u16
+    }
+    fn name(&self) -> &str {
+        "netlist-direct"
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(1));
+    let mut img = Tensor::zeros(&[1, 28, 28]);
+    Rng::seed_from_u64(2).fill_range_f32(img.data_mut(), 0.0, 1.0);
+    let calib = vec![img.clone()];
+    let conv_only = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+    let all = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+    let approx = Registry::standard().build_lut("17KS").unwrap();
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("conv_only", |b| {
+        b.iter(|| conv_only.forward_with(black_box(&img), &approx))
+    });
+    group.bench_function("all_layers", |b| {
+        b.iter(|| all.forward_with(black_box(&img), &approx))
+    });
+    group.finish();
+}
+
+fn bench_lut_vs_netlist(c: &mut Criterion) {
+    let spec = ApproxSpec::exact().with_loa_cols(6);
+    let nl = ArrayMultiplier::new(8, spec).build();
+    let lut = MulLut::from_netlist("loa6", &nl);
+    let direct = NetlistKernel { nl };
+    let mut group = c.benchmark_group("mac_represent");
+    group.bench_function("lut", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..=63u8 {
+                acc += lut.mul(black_box(a), black_box(a ^ 0x2A)) as u32;
+            }
+            acc
+        })
+    });
+    group.bench_function("netlist_direct", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..=63u8 {
+                acc += direct.mul(black_box(a), black_box(a ^ 0x2A)) as u32;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_error_structure(c: &mut Criterion) {
+    // Truncation vs LOA at comparable MAE: same victim, same image —
+    // the latency is identical (both are LUTs); this bench documents
+    // that the *cost* of either structure is the same even though their
+    // robustness behaviour differs (see fig4/fig6 outputs).
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(3));
+    let mut img = Tensor::zeros(&[1, 28, 28]);
+    Rng::seed_from_u64(4).fill_range_f32(img.data_mut(), 0.0, 1.0);
+    let q = QuantModel::from_float(&model, &[img.clone()], Placement::ConvOnly).unwrap();
+    let trunc = MulLut::from_netlist(
+        "trunc8c",
+        &ArrayMultiplier::new(8, ApproxSpec::exact().with_truncate_cols(8).with_compensation())
+            .build(),
+    );
+    let loa = MulLut::from_netlist(
+        "loa8",
+        &ArrayMultiplier::new(8, ApproxSpec::exact().with_loa_cols(8)).build(),
+    );
+    let mut group = c.benchmark_group("error_structure");
+    group.bench_function("truncation_fta_like", |b| {
+        b.iter(|| q.forward_with(black_box(&img), &trunc))
+    });
+    group.bench_function("loa_17ks_like", |b| {
+        b.iter(|| q.forward_with(black_box(&img), &loa))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_lut_vs_netlist,
+    bench_error_structure
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Per-attack crafting cost on the FFNN (one image), covering the
+//! single-step, iterated and decision-based families.
+
+use axattack::suite::AttackId;
+use axnn::zoo;
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_attacks(c: &mut Criterion) {
+    let model = zoo::ffnn(&mut Rng::seed_from_u64(1));
+    let mut img = Tensor::zeros(&[1, 28, 28]);
+    Rng::seed_from_u64(2).fill_range_f32(img.data_mut(), 0.0, 1.0);
+    let mut group = c.benchmark_group("attack_craft");
+    for id in [
+        AttackId::FgmLinf,
+        AttackId::BimLinf,
+        AttackId::PgdLinf,
+        AttackId::CrL2,
+        AttackId::RagL2,
+        AttackId::RauLinf,
+    ] {
+        let attack = id.build();
+        group.bench_function(id.name(), |b| {
+            b.iter(|| {
+                attack.craft(
+                    black_box(&model),
+                    black_box(&img),
+                    3,
+                    0.1,
+                    &mut Rng::seed_from_u64(3),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Gate-level simulation benchmarks: bit-parallel netlist evaluation,
+//! exhaustive characterization and the physical-cost analysis.
+
+use axcirc::{AreaReport, ApproxSpec, ArrayMultiplier, ErrorMetrics};
+use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_netlist(c: &mut Criterion) {
+    let nl = ArrayMultiplier::new(8, ApproxSpec::exact()).build();
+    let words: Vec<u64> = (0..16).map(|i| 0x0123_4567_89AB_CDEF ^ (i as u64)).collect();
+    c.bench_function("netlist_eval_64_vectors", |b| {
+        b.iter(|| nl.eval_words(black_box(&words)))
+    });
+    c.bench_function("netlist_exhaustive_64k", |b| b.iter(|| nl.exhaustive_u16()));
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let nl = ArrayMultiplier::new(8, ApproxSpec::exact().with_loa_cols(6)).build();
+    let table = nl.exhaustive_u16();
+    c.bench_function("error_metrics_exhaustive", |b| {
+        b.iter(|| ErrorMetrics::from_mul_table(black_box(&table), 8))
+    });
+    c.bench_function("area_report", |b| b.iter(|| AreaReport::of(black_box(&nl))));
+}
+
+criterion_group!(benches, bench_netlist, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Inference latency: float LeNet-5 vs int8 (exact kernel) vs int8
+//! (approximate kernel) — the deployment-relevant comparison.
+
+use axmul::{MulLut, Registry};
+use axnn::zoo;
+use axquant::{Placement, QuantModel};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (axnn::Sequential, QuantModel, Tensor) {
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(1));
+    let mut img = Tensor::zeros(&[1, 28, 28]);
+    Rng::seed_from_u64(2).fill_range_f32(img.data_mut(), 0.0, 1.0);
+    let calib = vec![img.clone()];
+    let q = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+    (model, q, img)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (model, q, img) = setup();
+    let exact = MulLut::exact();
+    let approx = Registry::standard().build_lut("JQQ").unwrap();
+    let mut group = c.benchmark_group("lenet5_inference");
+    group.bench_function("float", |b| b.iter(|| model.forward(black_box(&img))));
+    group.bench_function("int8_exact", |b| {
+        b.iter(|| q.forward_with(black_box(&img), &exact))
+    });
+    group.bench_function("int8_approx_jqq", |b| {
+        b.iter(|| q.forward_with(black_box(&img), &approx))
+    });
+    group.finish();
+}
+
+fn bench_input_gradient(c: &mut Criterion) {
+    let (model, _, img) = setup();
+    c.bench_function("lenet5_input_gradient", |b| {
+        b.iter(|| model.input_gradient(black_box(&img), 3))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_input_gradient);
+criterion_main!(benches);

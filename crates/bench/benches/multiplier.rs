@@ -1,0 +1,50 @@
+//! Multiplier kernel micro-benchmarks: native multiply vs exact LUT vs
+//! approximate LUT, plus LUT extraction cost.
+
+use axmul::kernel::{ExactMul, MulKernel};
+use axmul::{MulLut, Registry};
+use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let exact_lut = MulLut::exact();
+    let approx = Registry::standard().build_lut("L40").unwrap();
+    let mut group = c.benchmark_group("mac_kernel");
+    group.bench_function("native_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..=255u8 {
+                acc += ExactMul.mul(black_box(a), black_box(a ^ 0x5A)) as u32;
+            }
+            acc
+        })
+    });
+    group.bench_function("exact_lut", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..=255u8 {
+                acc += exact_lut.mul(black_box(a), black_box(a ^ 0x5A)) as u32;
+            }
+            acc
+        })
+    });
+    group.bench_function("approx_lut_l40", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..=255u8 {
+                acc += approx.mul(black_box(a), black_box(a ^ 0x5A)) as u32;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let reg = Registry::standard();
+    let spec = reg.find("17KS").unwrap().clone();
+    c.bench_function("lut_build_17ks", |b| b.iter(|| spec.build_lut()));
+}
+
+criterion_group!(benches, bench_kernels, bench_lut_build);
+criterion_main!(benches);

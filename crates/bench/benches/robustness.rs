@@ -1,0 +1,39 @@
+//! One robustness-grid cell (the unit of Figs 4-7): craft 8 adversarial
+//! examples and evaluate two victims on them.
+
+use axattack::suite::AttackId;
+use axdata::mnist::{MnistConfig, SynthMnist};
+use axmul::Registry;
+use axnn::zoo;
+use axquant::{Placement, QuantModel};
+use axrobust::eval::{adversarial_accuracy, craft_adversarial_set};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_grid_cell(c: &mut Criterion) {
+    let data = SynthMnist::generate(&MnistConfig {
+        n: 16,
+        seed: 5,
+        ..Default::default()
+    });
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(1));
+    let calib: Vec<Tensor> = (0..4).map(|i| data.image(i).clone()).collect();
+    let q = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+    let reg = Registry::standard();
+    let exact = reg.build_lut("1JFF").unwrap();
+    let approx = reg.build_lut("17KS").unwrap();
+
+    c.bench_function("grid_cell_craft_fgm_8imgs", |b| {
+        b.iter(|| craft_adversarial_set(&model, AttackId::FgmLinf, &data, 0.1, 8, 7))
+    });
+    let advs = craft_adversarial_set(&model, AttackId::FgmLinf, &data, 0.1, 8, 7);
+    c.bench_function("grid_cell_eval_two_victims", |b| {
+        b.iter(|| {
+            adversarial_accuracy(&q, &exact, &advs) + adversarial_accuracy(&q, &approx, &advs)
+        })
+    });
+}
+
+criterion_group!(benches, bench_grid_cell);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The eps = 0 column of every figure: clean accuracy of each quantized
+//! accurate/approximate victim. Reproduces the "lower MAE, higher
+//! inference accuracy" ladder of §IV.B and doubles as the recipe
+//! calibration check.
+
+use axquant::Placement;
+use axrobust::experiments::{cifar_mult_columns, mnist_mult_columns, quantize_victim};
+use axmul::Registry;
+
+fn main() {
+    let store = bench::store_from_env();
+    let reg = Registry::standard();
+    let mut out = String::from("# Clean accuracy per multiplier (eps = 0)\n\n");
+
+    let lenet = store.lenet5_mnist().expect("lenet");
+    let test = store.mnist_test();
+    let n = test.len();
+    let q = quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly).expect("quantize");
+    out.push_str(&format!(
+        "LeNet-5 / synth-MNIST (float: {:.1}%)\n\n| part | clean acc % |\n|---|---|\n",
+        100.0 * lenet.accuracy(test, n)
+    ));
+    for (name, lut) in mnist_mult_columns(&reg) {
+        let acc = q.accuracy_with(test, &lut, n);
+        out.push_str(&format!("| {name} | {:.1} |\n", 100.0 * acc));
+    }
+
+    let alex = store.alexnet_cifar().expect("alexnet");
+    let ctest = store.cifar_test();
+    let cq = quantize_victim(&alex, store.cifar_train(), Placement::ConvOnly).expect("quantize");
+    out.push_str(&format!(
+        "\nAlexNet / synth-CIFAR (float: {:.1}%)\n\n| part | clean acc % |\n|---|---|\n",
+        100.0 * alex.accuracy(ctest, ctest.len())
+    ));
+    for (name, lut) in cifar_mult_columns(&reg) {
+        let acc = cq.accuracy_with(ctest, &lut, ctest.len());
+        out.push_str(&format!("| {name} | {:.1} |\n", 100.0 * acc));
+    }
+    bench::emit("clean_accuracy", &out);
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig 1: the motivational case study (FFNN and LeNet-5,
+//! accurate vs approximate, PGD-linf and CR-l2).
+
+use axrobust::experiments::run_fig1;
+
+fn main() {
+    let store = bench::store_from_env();
+    let opts = bench::figure_opts_from_env();
+    let ffnn = store.ffnn_mnist().expect("ffnn");
+    let lenet = store.lenet5_mnist().expect("lenet");
+    let panels = bench::timed("fig1", || {
+        run_fig1(&ffnn, &lenet, store.mnist_test(), &opts).expect("fig1")
+    });
+    let titles = [
+        "(a) FFNN, PGD-linf",
+        "(b) LeNet-5, PGD-linf",
+        "(c) FFNN, CR-l2",
+        "(d) LeNet-5, CR-l2",
+    ];
+    let mut out = format!("# Fig 1 (n_eval = {})\n\n", opts.n_eval);
+    for (t, p) in titles.iter().zip(&panels) {
+        out.push_str(&format!("{t}\n{}\n", p.to_text()));
+    }
+    bench::emit("fig1", &out);
+}

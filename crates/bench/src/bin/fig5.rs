@@ -1,0 +1,19 @@
+//! Regenerates Fig 5: LeNet-5 / synth-MNIST robustness heatmaps.
+
+use axquant::Placement;
+use axrobust::experiments::{quantize_victim, run_fig5};
+
+fn main() {
+    let store = bench::store_from_env();
+    let opts = bench::figure_opts_from_env();
+    let lenet = store.lenet5_mnist().expect("lenet");
+    let victim =
+        quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly).expect("quantize");
+    let panels = bench::timed("fig5", || run_fig5(&lenet, &victim, store.mnist_test(), &opts));
+    let mut out = format!("# Fig 5 (n_eval = {})\n\n", opts.n_eval);
+    for p in &panels {
+        out.push_str(&p.to_text());
+        out.push('\n');
+    }
+    bench::emit("fig5", &out);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig 7: AlexNet / synth-CIFAR robustness heatmaps.
+
+use axquant::Placement;
+use axrobust::experiments::{quantize_victim, run_fig7};
+
+fn main() {
+    let store = bench::store_from_env();
+    let opts = bench::figure_opts_from_env();
+    let alex = store.alexnet_cifar().expect("alexnet");
+    let victim =
+        quantize_victim(&alex, store.cifar_train(), Placement::ConvOnly).expect("quantize");
+    let panels = bench::timed("fig7", || run_fig7(&alex, &victim, store.cifar_test(), &opts));
+    let mut out = format!("# Fig 7 (n_eval = {})\n\n", opts.n_eval);
+    for p in &panels {
+        out.push_str(&p.to_text());
+        out.push('\n');
+    }
+    bench::emit("fig7", &out);
+}

@@ -1,0 +1,46 @@
+//! Extension experiment: Algorithm 1's `Qlevel` input swept over
+//! 4/6/8-bit quantization, with and without approximation, under the
+//! strongest attack (BIM-linf). The paper fixes 8-bit; this surface
+//! shows how precision interacts with the approximation-vs-robustness
+//! story (§IV.D).
+
+use axattack::suite::AttackId;
+use axmul::Registry;
+use axquant::{Placement, QLevel, QuantModel};
+use axrobust::eval::{adversarial_accuracy, craft_adversarial_set};
+use axtensor::Tensor;
+
+fn main() {
+    let store = bench::store_from_env();
+    let opts = bench::figure_opts_from_env();
+    let lenet = store.lenet5_mnist().expect("lenet");
+    let train = store.mnist_train();
+    let test = store.mnist_test();
+    let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
+    let reg = Registry::standard();
+    let exact = reg.build_lut("1JFF").expect("registered");
+    let approx = reg.build_lut("17KS").expect("registered");
+
+    let mut out = format!(
+        "# Qlevel sweep: BIM-linf robustness vs quantization level (n_eval = {})\n\n",
+        opts.n_eval
+    );
+    out.push_str("| level | eps | accurate % | Ax17KS % |\n|---|---|---|---|\n");
+    for bits in [4u8, 6, 8] {
+        let level = QLevel::new(bits, bits);
+        let q = QuantModel::from_float_with_level(&lenet, &calib, Placement::ConvOnly, level)
+            .expect("quantize");
+        for eps in [0.0f32, 0.1, 0.2] {
+            let advs =
+                craft_adversarial_set(&lenet, AttackId::BimLinf, test, eps, opts.n_eval, opts.seed);
+            let acc = adversarial_accuracy(&q, &exact, &advs);
+            let acc_ax = adversarial_accuracy(&q, &approx, &advs);
+            out.push_str(&format!(
+                "| {level} | {eps} | {:.1} | {:.1} |\n",
+                100.0 * acc,
+                100.0 * acc_ax
+            ));
+        }
+    }
+    bench::emit("qlevel_sweep", &out);
+}

@@ -1,0 +1,7 @@
+//! Prints Table I: the attack taxonomy.
+
+use axattack::suite::table1_markdown;
+
+fn main() {
+    bench::emit("table1", &format!("# Table I: attacks, types, distance metrics\n\n{}", table1_markdown()));
+}

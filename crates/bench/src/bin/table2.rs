@@ -1,0 +1,30 @@
+//! Regenerates Table II: transferability of BIM-linf (eps = 0.05)
+//! adversarial examples across architectures and datasets.
+
+use axrobust::experiments::{run_table2, Table2Models};
+
+fn main() {
+    let store = bench::store_from_env();
+    let opts = bench::figure_opts_from_env();
+    let l5_mnist = store.lenet5_mnist32().expect("l5-mnist32");
+    let alx_mnist = store.alexnet_mnist32().expect("alx-mnist32");
+    let l5_cifar = store.lenet5_cifar().expect("l5-cifar");
+    let alx_cifar = store.alexnet_cifar().expect("alx-cifar");
+    let (_, mnist32_test) = store.mnist32();
+    let models = Table2Models {
+        l5_mnist: &l5_mnist,
+        alx_mnist: &alx_mnist,
+        l5_cifar: &l5_cifar,
+        alx_cifar: &alx_cifar,
+        mnist32_test: &mnist32_test,
+        cifar_test: store.cifar_test(),
+    };
+    let (mnist, cifar) = bench::timed("table2", || run_table2(&models, &opts).expect("table2"));
+    let out = format!(
+        "# Table II (n_eval = {})\n\n## synth-MNIST\n\n{}\n## synth-CIFAR-10\n\n{}",
+        opts.n_eval,
+        mnist.to_markdown(),
+        cifar.to_markdown()
+    );
+    bench::emit("table2", &out);
+}

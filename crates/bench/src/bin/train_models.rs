@@ -1,0 +1,23 @@
+//! Pre-trains and caches every model the figure binaries need.
+//! Run once per profile; later binaries load the cached weights.
+
+fn main() {
+    let store = bench::store_from_env();
+    bench::timed("lenet5-mnist", || store.lenet5_mnist().expect("train lenet5"));
+    bench::timed("ffnn-mnist", || store.ffnn_mnist().expect("train ffnn"));
+    bench::timed("alexnet-cifar", || store.alexnet_cifar().expect("train alexnet"));
+    bench::timed("lenet5-mnist32", || store.lenet5_mnist32().expect("train lenet5-32"));
+    bench::timed("alexnet-mnist32", || store.alexnet_mnist32().expect("train alexnet-mnist"));
+    bench::timed("lenet5-cifar", || store.lenet5_cifar().expect("train lenet5-cifar"));
+    let test = store.mnist_test();
+    let lenet = store.lenet5_mnist().unwrap();
+    println!(
+        "lenet5 clean (float) accuracy: {:.1}%",
+        100.0 * lenet.accuracy(test, 1000)
+    );
+    let alex = store.alexnet_cifar().unwrap();
+    println!(
+        "alexnet clean (float) accuracy: {:.1}%",
+        100.0 * alex.accuracy(store.cifar_test(), 1000)
+    );
+}

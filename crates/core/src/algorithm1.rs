@@ -1,0 +1,205 @@
+//! A line-by-line transcription of the paper's Algorithm 1
+//! ("Robustness Evaluation").
+//!
+//! The [`eval`](crate::eval) module implements the same computation in a
+//! vectorized, multiplier-batched layout; this module keeps the paper's
+//! original control flow (outer loop over budgets, inner loop over the
+//! test set, one victim at a time) for fidelity, and the tests pin both
+//! implementations to each other.
+
+use axattack::suite::AttackId;
+use axdata::Dataset;
+use axmul::MulLut;
+use axnn::Sequential;
+use axquant::{Placement, QLevel, QuantModel};
+use axutil::{rng::Rng, AxError};
+
+/// Inputs of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct Algorithm1Inputs<'a> {
+    /// Type of multiplier used by the victim (`mults` in the paper; the
+    /// accurate part generates the adversarial examples).
+    pub mult: &'a MulLut,
+    /// Type of adversarial attack.
+    pub attack: AttackId,
+    /// Perturbation budgets (`eps = [0, p]`).
+    pub eps: Vec<f32>,
+    /// Labelled test set `D = (X_t, L_t)`.
+    pub data: &'a Dataset,
+    /// Number of test examples to use from `data`.
+    pub size: usize,
+    /// Quantization level (`Qlevel` in the paper; 8-bit in its experiments).
+    pub qlevel: QLevel,
+    /// Accuracy threshold `A_th` the trained model must exceed (line 2).
+    pub accuracy_threshold: f32,
+    /// Attack randomness seed.
+    pub seed: u64,
+}
+
+/// Output of Algorithm 1: percentage robustness per budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessLevels {
+    /// The evaluated budgets.
+    pub eps: Vec<f32>,
+    /// `R_levels(eps)` in percent (line 15).
+    pub robustness_pct: Vec<f32>,
+}
+
+/// Runs Algorithm 1 for one victim multiplier.
+///
+/// `model` is the trained accurate DNN (line 1 is the caller's training
+/// step); this function performs lines 2-17: threshold check, adversarial
+/// example generation with the accurate multiplier, fixed-point
+/// quantization of the inference model, attack evaluation and the
+/// robustness computation.
+///
+/// # Errors
+///
+/// Returns [`AxError::Config`] if the model accuracy is below the
+/// threshold (line 2) or quantization fails.
+pub fn evaluate_robustness(
+    model: &Sequential,
+    inputs: &Algorithm1Inputs<'_>,
+) -> Result<RobustnessLevels, AxError> {
+    let size = inputs.size.min(inputs.data.len());
+    // Line 2: if Accuracy(model) >= A_th
+    let clean = model.accuracy(inputs.data, size);
+    if clean < inputs.accuracy_threshold {
+        return Err(AxError::config(format!(
+            "trained model accuracy {clean:.3} below threshold {:.3}",
+            inputs.accuracy_threshold
+        )));
+    }
+    // Line 7: fixed-point quantization of the inference model.
+    let calib: Vec<_> = (0..size.min(32)).map(|i| inputs.data.image(i).clone()).collect();
+    let qmdl =
+        QuantModel::from_float_with_level(model, &calib, Placement::ConvOnly, inputs.qlevel)?;
+    let attack = inputs.attack.build();
+
+    let mut robustness = Vec::with_capacity(inputs.eps.len());
+    // Line 3: for j = 1 : length(eps)
+    for (j, &eps) in inputs.eps.iter().enumerate() {
+        // Line 4: adv = 0
+        let mut adv = 0usize;
+        // Line 5: for k = 1 : size(D)
+        for k in 0..size {
+            // Line 6: adversarial example generation with the accurate
+            // multiplier (float model = accurate-multiplier inference).
+            let mut rng = Rng::seed_from_u64(inputs.seed)
+                .derive(k as u64 ^ ((eps.to_bits() as u64) << 20) ^ ((j as u64) << 52));
+            let x_adv = attack.craft(model, inputs.data.image(k), inputs.data.label(k), eps, &mut rng);
+            // Line 8: adversarial attack on the quantized model with the
+            // victim's multiplier.
+            let predicted = qmdl.predict_with(&x_adv, inputs.mult);
+            // Lines 9-13: count successful misclassifications.
+            if predicted != inputs.data.label(k) {
+                adv += 1;
+            }
+        }
+        // Line 15: R_levels(eps(j)) = (1 - adv / size(D)) * 100.
+        robustness.push((1.0 - adv as f32 / size as f32) * 100.0);
+    }
+    Ok(RobustnessLevels {
+        eps: inputs.eps.clone(),
+        robustness_pct: robustness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axdata::mnist::{MnistConfig, SynthMnist};
+    use axmul::Registry;
+    use axnn::train::{fit, TrainConfig};
+    use axnn::zoo;
+
+    fn trained_ffnn() -> (Sequential, Dataset) {
+        let train = SynthMnist::generate(&MnistConfig {
+            n: 400,
+            seed: 31,
+            ..Default::default()
+        });
+        let test = SynthMnist::generate(&MnistConfig {
+            n: 50,
+            seed: 32,
+            ..Default::default()
+        });
+        let mut model = zoo::ffnn(&mut axutil::rng::Rng::seed_from_u64(8));
+        fit(
+            &mut model,
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
+        (model, test)
+    }
+
+    #[test]
+    fn robustness_decreases_with_budget_and_matches_eval() {
+        let (model, test) = trained_ffnn();
+        let reg = Registry::standard();
+        let lut = reg.build_lut("1JFF").unwrap();
+        let inputs = Algorithm1Inputs {
+            mult: &lut,
+            attack: AttackId::BimLinf,
+            eps: vec![0.0, 0.3],
+            data: &test,
+            size: 30,
+            qlevel: QLevel::INT8,
+            accuracy_threshold: 0.5,
+            seed: 77,
+        };
+        let r = evaluate_robustness(&model, &inputs).unwrap();
+        assert_eq!(r.eps.len(), 2);
+        assert!(r.robustness_pct[0] > 50.0);
+        assert!(
+            r.robustness_pct[1] < r.robustness_pct[0],
+            "BIM-linf at 0.3 must hurt: {:?}",
+            r.robustness_pct
+        );
+    }
+
+    #[test]
+    fn threshold_gate_fires() {
+        let (model, test) = trained_ffnn();
+        let reg = Registry::standard();
+        let lut = reg.build_lut("1JFF").unwrap();
+        let inputs = Algorithm1Inputs {
+            mult: &lut,
+            attack: AttackId::FgmL2,
+            eps: vec![0.0],
+            data: &test,
+            size: 30,
+            qlevel: QLevel::INT8,
+            accuracy_threshold: 1.01, // impossible
+            seed: 1,
+        };
+        assert!(evaluate_robustness(&model, &inputs).is_err());
+    }
+
+    #[test]
+    fn eps_zero_robustness_equals_clean_accuracy() {
+        let (model, test) = trained_ffnn();
+        let reg = Registry::standard();
+        let lut = reg.build_lut("1JFF").unwrap();
+        let inputs = Algorithm1Inputs {
+            mult: &lut,
+            attack: AttackId::CrL2,
+            eps: vec![0.0],
+            data: &test,
+            size: 40,
+            qlevel: QLevel::INT8,
+            accuracy_threshold: 0.3,
+            seed: 5,
+        };
+        let r = evaluate_robustness(&model, &inputs).unwrap();
+        // Compare against the vectorized engine's clean accuracy.
+        let calib: Vec<_> = (0..32).map(|i| test.image(i).clone()).collect();
+        let q = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let clean = q.accuracy_with(&test, &lut, 40) * 100.0;
+        assert!((r.robustness_pct[0] - clean).abs() < 1e-4);
+    }
+}

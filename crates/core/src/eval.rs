@@ -1,0 +1,206 @@
+//! The robustness-evaluation engine (Fig 3, steps 3-6).
+//!
+//! For every perturbation budget, adversarial examples are crafted once on
+//! the accurate float model (Algorithm 1 line 6 — the adversary never sees
+//! the approximate inference engine) and every quantized victim — accurate
+//! and approximate — is evaluated on the *same* examples. Robustness is
+//! the fraction of examples that remain correctly classified (line 15).
+
+use axattack::suite::AttackId;
+use axdata::Dataset;
+use axmul::MulLut;
+use axnn::Sequential;
+use axquant::QuantModel;
+use axtensor::Tensor;
+use axutil::{parallel, rng::Rng};
+
+use crate::grid::RobustnessGrid;
+
+/// Sampling options for one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOpts {
+    /// The perturbation budgets to sweep.
+    pub eps_grid: Vec<f32>,
+    /// Number of test examples (capped at the dataset size).
+    pub n_examples: usize,
+    /// Attack randomness seed.
+    pub seed: u64,
+}
+
+impl EvalOpts {
+    /// The paper's epsilon grid with the given sample count.
+    pub fn paper(n_examples: usize, seed: u64) -> Self {
+        EvalOpts {
+            eps_grid: paper_eps_grid(),
+            n_examples,
+            seed,
+        }
+    }
+}
+
+/// The perturbation budgets used throughout the paper's figures.
+pub fn paper_eps_grid() -> Vec<f32> {
+    vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0, 1.5, 2.0]
+}
+
+/// Crafts the adversarial test set for one `(attack, eps)` cell, in
+/// parallel over images. Deterministic given `seed`.
+pub fn craft_adversarial_set(
+    source: &Sequential,
+    attack_id: AttackId,
+    data: &Dataset,
+    eps: f32,
+    n: usize,
+    seed: u64,
+) -> Vec<(Tensor, usize)> {
+    let attack = attack_id.build();
+    let n = n.min(data.len());
+    parallel::par_map(n, |i| {
+        let mut rng = Rng::seed_from_u64(seed).derive(i as u64 ^ (eps.to_bits() as u64) << 20);
+        (
+            attack.craft(source, data.image(i), data.label(i), eps, &mut rng),
+            data.label(i),
+        )
+    })
+}
+
+/// Accuracy of one victim/kernel pair on a crafted adversarial set.
+pub fn adversarial_accuracy(
+    victim: &QuantModel,
+    kernel: &MulLut,
+    advs: &[(Tensor, usize)],
+) -> f32 {
+    if advs.is_empty() {
+        return 0.0;
+    }
+    let correct = parallel::par_reduce(
+        advs.len(),
+        || 0usize,
+        |acc, i| {
+            let (x, y) = &advs[i];
+            acc + usize::from(victim.predict_with(x, kernel) == *y)
+        },
+        |a, b| a + b,
+    );
+    correct as f32 / advs.len() as f32
+}
+
+/// Runs the full grid for one attack: every epsilon × every multiplier.
+///
+/// `mults` pairs display names with inference LUTs; by paper convention
+/// the first entry is the accurate part (M1).
+pub fn robustness_grid(
+    source: &Sequential,
+    victim: &QuantModel,
+    mults: &[(String, MulLut)],
+    attack_id: AttackId,
+    data: &Dataset,
+    opts: &EvalOpts,
+) -> RobustnessGrid {
+    assert!(!mults.is_empty(), "need at least one multiplier column");
+    let mut acc = Vec::with_capacity(opts.eps_grid.len());
+    for &eps in &opts.eps_grid {
+        let advs = craft_adversarial_set(source, attack_id, data, eps, opts.n_examples, opts.seed);
+        let row: Vec<f32> = mults
+            .iter()
+            .map(|(_, lut)| adversarial_accuracy(victim, lut, &advs))
+            .collect();
+        acc.push(row);
+    }
+    RobustnessGrid::new(
+        attack_id.name(),
+        data.name(),
+        opts.eps_grid.clone(),
+        mults.iter().map(|(n, _)| n.clone()).collect(),
+        acc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axdata::mnist::{MnistConfig, SynthMnist};
+    use axmul::Registry;
+    use axnn::train::{fit, TrainConfig};
+    use axnn::zoo;
+    use axquant::Placement;
+    use axutil::rng::Rng;
+
+    /// A quickly trained FFNN plus quantized twin and a small test set.
+    fn quick_setup() -> (Sequential, QuantModel, Dataset) {
+        let train = SynthMnist::generate(&MnistConfig {
+            n: 400,
+            seed: 21,
+            ..Default::default()
+        });
+        let test = SynthMnist::generate(&MnistConfig {
+            n: 60,
+            seed: 22,
+            ..Default::default()
+        });
+        let mut model = zoo::ffnn(&mut Rng::seed_from_u64(3));
+        fit(
+            &mut model,
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
+        let calib: Vec<Tensor> = (0..16).map(|i| train.image(i).clone()).collect();
+        let q = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+        (model, q, test)
+    }
+
+    #[test]
+    fn grid_shape_and_eps0_is_clean_accuracy() {
+        let (model, q, test) = quick_setup();
+        let reg = Registry::standard();
+        let mults = vec![
+            ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
+            ("L40".to_string(), reg.build_lut("L40").unwrap()),
+        ];
+        let opts = EvalOpts {
+            eps_grid: vec![0.0, 0.2],
+            n_examples: 40,
+            seed: 5,
+        };
+        let grid = robustness_grid(&model, &q, &mults, AttackId::PgdLinf, &test, &opts);
+        assert_eq!(grid.eps().len(), 2);
+        assert_eq!(grid.mults().len(), 2);
+        // eps = 0: the "attack" is the identity, so the first row must be
+        // the victims' clean accuracy.
+        let clean_exact = q.accuracy_with(&test, &mults[0].1, 40);
+        assert!((grid.accuracy(0, 0) - clean_exact).abs() < 1e-6);
+        // A strong linf attack must strictly reduce accuracy of the
+        // accurate column (the model is trained, clean acc is high).
+        assert!(grid.accuracy(0, 0) > 0.5, "training failed? {}", grid.accuracy(0, 0));
+        assert!(grid.accuracy(1, 0) < grid.accuracy(0, 0));
+    }
+
+    #[test]
+    fn crafting_is_deterministic() {
+        let (model, _, test) = quick_setup();
+        let a = craft_adversarial_set(&model, AttackId::PgdLinf, &test, 0.1, 10, 9);
+        let b = craft_adversarial_set(&model, AttackId::PgdLinf, &test, 0.1, 10, 9);
+        assert_eq!(a, b);
+        let c = craft_adversarial_set(&model, AttackId::PgdLinf, &test, 0.1, 10, 10);
+        assert_ne!(a, c, "different seeds should perturb differently");
+    }
+
+    #[test]
+    fn paper_grid_matches_figures() {
+        let g = paper_eps_grid();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn adversarial_accuracy_empty_is_zero() {
+        let (_, q, _) = quick_setup();
+        let lut = Registry::standard().build_lut("1JFF").unwrap();
+        assert_eq!(adversarial_accuracy(&q, &lut, &[]), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Robustness grids — the data behind the paper's heatmap figures.
+
+/// Accuracy (= percentage robustness, Algorithm 1 line 15) of a set of
+/// victims over a perturbation-budget grid, under one attack.
+///
+/// Rows are epsilon values, columns are multiplier names (M1..Mn in the
+/// paper's figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessGrid {
+    attack: String,
+    dataset: String,
+    eps: Vec<f32>,
+    mults: Vec<String>,
+    /// `acc[eps_index][mult_index]`, in [0, 1].
+    acc: Vec<Vec<f32>>,
+}
+
+impl RobustnessGrid {
+    /// Assembles a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accuracy matrix does not match the axes.
+    pub fn new(
+        attack: impl Into<String>,
+        dataset: impl Into<String>,
+        eps: Vec<f32>,
+        mults: Vec<String>,
+        acc: Vec<Vec<f32>>,
+    ) -> Self {
+        assert_eq!(acc.len(), eps.len(), "row count mismatch");
+        assert!(
+            acc.iter().all(|row| row.len() == mults.len()),
+            "column count mismatch"
+        );
+        assert!(
+            acc.iter().flatten().all(|&a| (0.0..=1.0).contains(&a)),
+            "accuracy out of range"
+        );
+        RobustnessGrid {
+            attack: attack.into(),
+            dataset: dataset.into(),
+            eps,
+            mults,
+            acc,
+        }
+    }
+
+    /// The attack name.
+    pub fn attack(&self) -> &str {
+        &self.attack
+    }
+
+    /// The dataset name.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The epsilon axis.
+    pub fn eps(&self) -> &[f32] {
+        &self.eps
+    }
+
+    /// The multiplier axis.
+    pub fn mults(&self) -> &[String] {
+        &self.mults
+    }
+
+    /// Accuracy at `(eps_index, mult_index)`, in `[0, 1]`.
+    pub fn accuracy(&self, eps_index: usize, mult_index: usize) -> f32 {
+        self.acc[eps_index][mult_index]
+    }
+
+    /// Accuracy loss of column `mult_index` between eps=first and `eps_index`.
+    pub fn accuracy_loss(&self, eps_index: usize, mult_index: usize) -> f32 {
+        self.acc[0][mult_index] - self.acc[eps_index][mult_index]
+    }
+
+    /// One column as a robustness curve (accuracy per eps).
+    pub fn column(&self, mult_index: usize) -> Vec<f32> {
+        self.acc.iter().map(|row| row[mult_index]).collect()
+    }
+
+    /// Renders in the paper's figure layout: one row per epsilon, one
+    /// column per multiplier, accuracy in percent.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{} on {} (accuracy %)\n", self.attack, self.dataset);
+        out.push_str("  eps  ");
+        for m in &self.mults {
+            out.push_str(&format!("{m:>6}"));
+        }
+        out.push('\n');
+        for (e, row) in self.eps.iter().zip(&self.acc) {
+            out.push_str(&format!("{e:5.2}  "));
+            for &a in row {
+                out.push_str(&format!("{:>6.0}", 100.0 * a));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("**{} on {}** (accuracy %)\n\n", self.attack, self.dataset);
+        out.push_str("| eps |");
+        for m in &self.mults {
+            out.push_str(&format!(" {m} |"));
+        }
+        out.push_str("\n|---|");
+        out.push_str(&"---|".repeat(self.mults.len()));
+        out.push('\n');
+        for (e, row) in self.eps.iter().zip(&self.acc) {
+            out.push_str(&format!("| {e} |"));
+            for &a in row {
+                out.push_str(&format!(" {:.0} |", 100.0 * a));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (`attack,dataset,eps,<mult...>`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("eps");
+        for m in &self.mults {
+            out.push(',');
+            out.push_str(m);
+        }
+        out.push('\n');
+        for (e, row) in self.eps.iter().zip(&self.acc) {
+            out.push_str(&format!("{e}"));
+            for &a in row {
+                out.push_str(&format!(",{:.4}", a));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> RobustnessGrid {
+        RobustnessGrid::new(
+            "BIM-linf",
+            "synth-mnist",
+            vec![0.0, 0.1],
+            vec!["1JFF".into(), "L40".into()],
+            vec![vec![0.98, 0.90], vec![0.93, 0.71]],
+        )
+    }
+
+    #[test]
+    fn accessors_and_loss() {
+        let g = demo();
+        assert_eq!(g.accuracy(0, 0), 0.98);
+        assert!((g.accuracy_loss(1, 1) - 0.19).abs() < 1e-6);
+        assert_eq!(g.column(0), vec![0.98, 0.93]);
+        assert_eq!(g.eps(), &[0.0, 0.1]);
+    }
+
+    #[test]
+    fn renderers_contain_all_cells() {
+        let g = demo();
+        for s in [g.to_text(), g.to_markdown(), g.to_csv()] {
+            assert!(s.contains("1JFF") && s.contains("L40"), "{s}");
+        }
+        assert!(g.to_text().contains("98"));
+        assert!(g.to_csv().lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn row_mismatch_rejected() {
+        let _ = RobustnessGrid::new(
+            "x",
+            "y",
+            vec![0.0],
+            vec!["a".into()],
+            vec![vec![0.5], vec![0.4]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accuracy_above_one_rejected() {
+        let _ = RobustnessGrid::new("x", "y", vec![0.0], vec!["a".into()], vec![vec![1.5]]);
+    }
+}

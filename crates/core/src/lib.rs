@@ -1,0 +1,63 @@
+//! The paper's contribution: adversarial robustness analysis of
+//! approximate DNN accelerators (AxDNNs).
+//!
+//! This crate wires the substrates together into the methodology of
+//! Fig 3 / Algorithm 1 and the per-figure experiment drivers:
+//!
+//! * [`threat`] — the threat model of §II (adversary knowledge scenarios).
+//! * [`eval`] — the robustness-evaluation engine: craft adversarial
+//!   examples on the accurate float model, evaluate every quantized
+//!   accurate/approximate victim on them, report percentage robustness
+//!   per perturbation budget.
+//! * [`algorithm1`] — a line-by-line transcription of the paper's
+//!   Algorithm 1, implemented on top of the same primitives (and tested
+//!   to agree with [`eval`]).
+//! * [`grid`] — robustness grids (the heatmaps of Figs 4-7) with
+//!   Markdown/CSV renderers.
+//! * [`transfer`] — the transferability study (Table II).
+//! * [`quantstudy`] — the quantization study (Fig 8).
+//! * [`experiments`] — per-figure drivers with the paper's epsilon grid
+//!   and multiplier sets.
+//! * [`store`] — dataset/model preparation with on-disk caching of
+//!   trained weights, so figure binaries train once and replay fast.
+//!
+//! # Examples
+//!
+//! A miniature end-to-end robustness evaluation:
+//!
+//! ```
+//! use axrobust::eval::{robustness_grid, EvalOpts};
+//! use axattack::suite::AttackId;
+//! use axdata::mnist::{MnistConfig, SynthMnist};
+//! use axmul::Registry;
+//! use axnn::zoo;
+//! use axquant::{Placement, QuantModel};
+//! use axutil::rng::Rng;
+//!
+//! # fn main() -> Result<(), axutil::AxError> {
+//! let data = SynthMnist::generate(&MnistConfig { n: 24, seed: 7, ..Default::default() });
+//! let model = zoo::lenet5(&mut Rng::seed_from_u64(0)); // untrained: demo only
+//! let calib: Vec<_> = (0..4).map(|i| data.image(i).clone()).collect();
+//! let victim = QuantModel::from_float(&model, &calib, Placement::ConvOnly)?;
+//! let reg = Registry::standard();
+//! let muls = vec![("1JFF".to_string(), reg.build_lut("1JFF").unwrap())];
+//! let grid = robustness_grid(
+//!     &model, &victim, &muls, AttackId::FgmLinf, &data,
+//!     &EvalOpts { eps_grid: vec![0.0, 0.1], n_examples: 8, seed: 1 },
+//! );
+//! assert_eq!(grid.accuracy(0, 0), grid.accuracy(0, 0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod algorithm1;
+pub mod eval;
+pub mod experiments;
+pub mod grid;
+pub mod quantstudy;
+pub mod store;
+pub mod threat;
+pub mod transfer;
+
+pub use eval::{robustness_grid, EvalOpts};
+pub use grid::RobustnessGrid;

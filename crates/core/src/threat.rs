@@ -1,0 +1,93 @@
+//! The paper's threat model (§II).
+
+/// What the adversary knows about the victim AxDNN (§II.A).
+///
+/// In both scenarios the adversary crafts adversarial examples on an
+/// *accurate* classifier — the inexactness of the victim's multipliers is
+/// never available to the attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversaryKnowledge {
+    /// Scenario 1: the model structure is known but the inexactness is
+    /// not. The adversary attacks the accurate float twin of the victim —
+    /// a special case of transferability (used by Figs 4-8).
+    StructureKnown,
+    /// Scenario 2: neither model structure nor inexactness is known. The
+    /// adversary attacks a *different* accurate architecture and relies
+    /// on cross-model transferability (used by Table II).
+    NothingKnown,
+}
+
+impl AdversaryKnowledge {
+    /// The paper's description of the scenario.
+    pub fn description(self) -> &'static str {
+        match self {
+            AdversaryKnowledge::StructureKnown => {
+                "model structure known, inexactness unknown (special case of transferability)"
+            }
+            AdversaryKnowledge::NothingKnown => {
+                "neither model structure nor inexactness known (black-box transfer)"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AdversaryKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryKnowledge::StructureKnown => write!(f, "structure-known"),
+            AdversaryKnowledge::NothingKnown => write!(f, "nothing-known"),
+        }
+    }
+}
+
+/// The full threat model: an exploratory, inference-time adversary with
+/// the stated knowledge, bounded by a perturbation budget (§II.B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreatModel {
+    /// The adversary's knowledge scenario.
+    pub knowledge: AdversaryKnowledge,
+    /// The perturbation budget (attack-norm radius).
+    pub epsilon: f32,
+}
+
+impl ThreatModel {
+    /// Creates a threat model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or non-finite.
+    pub fn new(knowledge: AdversaryKnowledge, epsilon: f32) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "bad epsilon");
+        ThreatModel { knowledge, epsilon }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_are_distinct() {
+        assert_ne!(
+            AdversaryKnowledge::StructureKnown.description(),
+            AdversaryKnowledge::NothingKnown.description()
+        );
+    }
+
+    #[test]
+    fn display_is_short() {
+        assert_eq!(AdversaryKnowledge::StructureKnown.to_string(), "structure-known");
+    }
+
+    #[test]
+    fn threat_model_construction() {
+        let t = ThreatModel::new(AdversaryKnowledge::StructureKnown, 0.25);
+        assert_eq!(t.epsilon, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon")]
+    fn negative_epsilon_rejected() {
+        let _ = ThreatModel::new(AdversaryKnowledge::NothingKnown, -0.1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the paper's pipeline end to end in one file.
+//!
+//! Trains a small FFNN on synthetic MNIST, quantizes it to int8, swaps in
+//! an approximate multiplier, and compares robustness of the accurate and
+//! approximate victims under a PGD-linf attack.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use axdnn::attack::suite::AttackId;
+use axdnn::data::mnist::{MnistConfig, SynthMnist};
+use axdnn::mul::Registry;
+use axdnn::nn::train::{fit, TrainConfig};
+use axdnn::nn::zoo;
+use axdnn::quant::{Placement, QuantModel};
+use axdnn::robust::eval::{robustness_grid, EvalOpts};
+use axdnn::tensor::Tensor;
+use axdnn::util::rng::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a deterministic synthetic MNIST substitute.
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 1200,
+        seed: 1,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 2,
+        ..Default::default()
+    });
+
+    // 2. Train the accurate float model (Algorithm 1, line 1).
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(7));
+    println!("training {} ({} params)...", model.name(), model.num_params());
+    let hist = fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 3,
+            lr: 0.1,
+            verbose: true,
+            ..Default::default()
+        },
+    );
+    println!(
+        "float accuracy: {:.1}%",
+        100.0 * hist.accuracies.last().copied().unwrap_or(0.0)
+    );
+
+    // 3. Quantize to int8 (the FFNN has no convs, so approximate all layers).
+    let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
+    let victim = QuantModel::from_float(&model, &calib, Placement::All)?;
+
+    // 4. Pick multipliers: the accurate 1JFF and the paper's worst part L40.
+    let reg = Registry::standard();
+    let mults = vec![
+        ("1JFF".to_string(), reg.build_lut("1JFF").expect("registered")),
+        ("L40".to_string(), reg.build_lut("L40").expect("registered")),
+    ];
+
+    // 5. Attack with PGD-linf over a small epsilon sweep and report.
+    let grid = robustness_grid(
+        &model,
+        &victim,
+        &mults,
+        AttackId::PgdLinf,
+        &test,
+        &EvalOpts {
+            eps_grid: vec![0.0, 0.05, 0.1, 0.2],
+            n_examples: 100,
+            seed: 42,
+        },
+    );
+    println!("\n{}", grid.to_text());
+    println!(
+        "accuracy loss at eps 0.2: accurate {:.0} points, L40 {:.0} points",
+        100.0 * grid.accuracy_loss(3, 0),
+        100.0 * grid.accuracy_loss(3, 1),
+    );
+    Ok(())
+}

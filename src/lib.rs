@@ -1,0 +1,64 @@
+//! # axdnn — adversarial robustness of approximate DNN accelerators
+//!
+//! A from-scratch Rust reproduction of *"Is Approximation Universally
+//! Defensive Against Adversarial Attacks in Deep Neural Networks?"*
+//! (Siddique & Hoque, DATE 2022, arXiv:2112.01555).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`circ`] | gate-level netlists, approximate adder/multiplier generators, error & area analysis |
+//! | [`mul`] | named approximate multipliers (the EvoApprox8b substitution) as inference LUTs |
+//! | [`tensor`] | minimal f32 tensors |
+//! | [`data`] | synthetic MNIST / CIFAR-10 substitutes |
+//! | [`nn`] | float training & inference (LeNet-5, AlexNet-mini, FFNN) with input gradients |
+//! | [`quant`] | int8 fixed-point inference with pluggable multiplier kernels |
+//! | [`attack`] | the ten Foolbox-style attacks (FGM/BIM/PGD/CR/RAG/RAU) |
+//! | [`robust`] | the paper's methodology: Algorithm 1, robustness grids, transferability, quantization study |
+//! | [`util`] | deterministic PRNG, parallel helpers, binary codec |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use axdnn::mul::{kernel::MulKernel, Registry};
+//!
+//! // Build the paper's L40 approximate multiplier and inspect one product.
+//! let reg = Registry::standard();
+//! let l40 = reg.build_lut("L40").expect("registered part");
+//! assert_ne!(l40.mul(200, 200), 200 * 200); // it approximates
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (train → quantize → attack →
+//! robustness grid) and the `bench` crate for the figure regeneration
+//! binaries.
+
+/// Adversarial attacks (re-export of `axattack`).
+pub use axattack as attack;
+/// Gate-level circuits (re-export of `axcirc`).
+pub use axcirc as circ;
+/// Synthetic datasets (re-export of `axdata`).
+pub use axdata as data;
+/// Named approximate multipliers (re-export of `axmul`).
+pub use axmul as mul;
+/// Neural networks (re-export of `axnn`).
+pub use axnn as nn;
+/// Fixed-point quantization (re-export of `axquant`).
+pub use axquant as quant;
+/// The paper's methodology (re-export of `axrobust`).
+pub use axrobust as robust;
+/// Tensors (re-export of `axtensor`).
+pub use axtensor as tensor;
+/// Utilities (re-export of `axutil`).
+pub use axutil as util;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let reg = crate::mul::Registry::standard();
+        assert!(reg.find("1JFF").is_some());
+        assert_eq!(crate::attack::suite::AttackId::ALL.len(), 10);
+        assert_eq!(crate::robust::eval::paper_eps_grid().len(), 10);
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests for artifact round-trips and report rendering.
+
+use axdnn::data::mnist::{MnistConfig, SynthMnist};
+use axdnn::nn::serialize::{load_model, model_from_bytes, model_to_bytes, save_model};
+use axdnn::nn::train::{fit, TrainConfig};
+use axdnn::nn::zoo;
+use axdnn::robust::grid::RobustnessGrid;
+use axdnn::robust::store::{ModelStore, StoreConfig};
+use axdnn::util::rng::Rng;
+
+#[test]
+fn trained_weights_survive_serialization() {
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 200,
+        ..Default::default()
+    });
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(60));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
+    let restored = model_from_bytes(&model_to_bytes(&model)).unwrap();
+    assert_eq!(model, restored);
+    // Same predictions on fresh data.
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 20,
+        seed: 201,
+        ..Default::default()
+    });
+    for (img, _) in test.iter() {
+        assert_eq!(model.forward(img), restored.forward(img));
+    }
+}
+
+#[test]
+fn store_cache_roundtrip_via_disk() {
+    let dir = std::env::temp_dir().join("axdnn-artifacts-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StoreConfig::quick(&dir);
+    cfg.mnist_train = 150;
+    cfg.mnist_test = 30;
+    cfg.mnist_cfg.epochs = 1;
+    cfg.mnist_cfg.verbose = false;
+    let store = ModelStore::new(cfg.clone());
+    let m1 = store.ffnn_mnist().unwrap();
+
+    // A fresh store instance with the same config must load, not retrain.
+    let store2 = ModelStore::new(cfg);
+    let m2 = store2.ffnn_mnist().unwrap();
+    assert_eq!(m1, m2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_save_load_path() {
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(61));
+    let path = std::env::temp_dir().join("axdnn-artifacts-test-lenet.axm");
+    save_model(&model, &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    assert_eq!(model, loaded);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn grid_renderers_are_consistent() {
+    let grid = RobustnessGrid::new(
+        "PGD-linf",
+        "synth-mnist",
+        vec![0.0, 0.5],
+        vec!["1JFF".into(), "JV3".into()],
+        vec![vec![0.98, 0.93], vec![0.40, 0.25]],
+    );
+    let csv = grid.to_csv();
+    // CSV: header + one row per eps; every accuracy appears.
+    assert_eq!(csv.lines().count(), 3);
+    assert!(csv.contains("0.9800") && csv.contains("0.2500"));
+    let md = grid.to_markdown();
+    assert!(md.contains("| 0.5 |") && md.contains("PGD-linf"));
+    let txt = grid.to_text();
+    assert!(txt.contains("98") && txt.contains("25"));
+}

@@ -1,0 +1,122 @@
+//! Property-based cross-crate invariants (proptest).
+
+use axdnn::attack::norms::{normalized, project_to_ball, Norm};
+use axdnn::attack::suite::AttackId;
+use axdnn::circ::{ApproxCell, ApproxSpec, ArrayMultiplier, ErrorMetrics};
+use axdnn::mul::{kernel::MulKernel, MulLut, Registry, SignedMul};
+use axdnn::nn::layer::{Dense, Layer};
+use axdnn::nn::Sequential;
+use axdnn::quant::QuantParams;
+use axdnn::tensor::Tensor;
+use axdnn::util::rng::Rng;
+use proptest::prelude::*;
+
+fn small_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from_u64(seed);
+    Sequential::new(
+        "prop",
+        vec![
+            Layer::Flatten,
+            Layer::Dense(Dense::new(9, 6, &mut rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(6, 3, &mut rng)),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every attack at any budget keeps the perturbation inside the ball
+    /// and the pixels inside [0, 1].
+    #[test]
+    fn attacks_respect_ball_and_box(
+        seed in 0u64..1000,
+        eps in 0.0f32..1.5,
+        attack_idx in 0usize..10,
+    ) {
+        let model = small_model(1);
+        let mut img = Tensor::zeros(&[1, 3, 3]);
+        Rng::seed_from_u64(seed).fill_range_f32(img.data_mut(), 0.0, 1.0);
+        let id = AttackId::ALL[attack_idx];
+        let adv = id.build().craft(&model, &img, 0, eps, &mut Rng::seed_from_u64(seed ^ 7));
+        let d = id.norm().dist(&adv, &img);
+        prop_assert!(d <= eps + 1e-4, "{}: {} > {}", id, d, eps);
+        prop_assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Ball projection is idempotent and never leaves the box.
+    #[test]
+    fn projection_is_idempotent(
+        seed in 0u64..1000,
+        eps in 0.01f32..2.0,
+        linf in proptest::bool::ANY,
+    ) {
+        let norm = if linf { Norm::Linf } else { Norm::L2 };
+        let mut origin = Tensor::zeros(&[12]);
+        Rng::seed_from_u64(seed).fill_range_f32(origin.data_mut(), 0.0, 1.0);
+        let mut x = Tensor::zeros(&[12]);
+        Rng::seed_from_u64(seed ^ 1).fill_range_f32(x.data_mut(), -1.0, 2.0);
+        let p1 = project_to_ball(&x, &origin, eps, norm);
+        let p2 = project_to_ball(&p1, &origin, eps, norm);
+        prop_assert!(norm.dist(&p1, &origin) <= eps + 1e-4);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-5, "projection must be idempotent");
+        }
+    }
+
+    /// Normalization produces unit norm for nonzero vectors.
+    #[test]
+    fn normalization_unit_norm(seed in 0u64..1000, linf in proptest::bool::ANY) {
+        let norm = if linf { Norm::Linf } else { Norm::L2 };
+        let mut v = Tensor::zeros(&[8]);
+        Rng::seed_from_u64(seed).fill_normal_f32(v.data_mut(), 1.0);
+        prop_assume!(v.l2_norm() > 1e-3);
+        let u = normalized(&v, norm);
+        let n = match norm { Norm::L2 => u.l2_norm(), Norm::Linf => u.linf_norm() };
+        prop_assert!((n - 1.0).abs() < 1e-4);
+    }
+
+    /// Sign-magnitude multiplication through any registered LUT is
+    /// sign-symmetric and magnitude-consistent with the unsigned kernel.
+    #[test]
+    fn signed_wrapper_consistency(a in -127i8..=127, b in -127i8..=127) {
+        let lut = Registry::standard().build_lut("17KS").unwrap();
+        let smul = SignedMul::new(&lut);
+        let expect_mag = lut.mul(a.unsigned_abs(), b.unsigned_abs()) as i32;
+        let got = smul.mul_i8(a, b);
+        prop_assert_eq!(got.abs(), expect_mag);
+        let neg = (a < 0) != (b < 0);
+        prop_assert_eq!(got < 0, neg && expect_mag != 0);
+    }
+
+    /// Quantize/dequantize round-trips within half a scale step.
+    #[test]
+    fn quantization_roundtrip_bound(max_abs in 0.01f32..100.0, v in -1.0f32..1.0) {
+        let p = QuantParams::for_weights(max_abs);
+        let real = v * max_abs;
+        let back = p.dequantize(p.quantize_i8(real) as i32);
+        prop_assert!((back - real).abs() <= p.scale() * 0.5 + 1e-6);
+    }
+
+    /// Any truncation-based multiplier underestimates; its measured MAE
+    /// grows monotonically with the truncated column count.
+    #[test]
+    fn truncation_is_monotone(k in 1usize..9) {
+        let m = |k| {
+            let nl = ArrayMultiplier::new(8, ApproxSpec::exact().with_truncate_cols(k)).build();
+            ErrorMetrics::from_mul_table(&nl.exhaustive_u16(), 8).mae
+        };
+        prop_assert!(m(k) < m(k + 1));
+    }
+
+    /// LUT extraction commutes with netlist evaluation on random operands.
+    #[test]
+    fn lut_equals_netlist(a in 0u8..=255, b in 0u8..=255, cells in 0usize..10) {
+        let spec = ApproxSpec::exact().with_approx_cols(cells, ApproxCell::SumIgnoresCarry);
+        let nl = ArrayMultiplier::new(8, spec).build();
+        let lut = MulLut::from_netlist("p", &nl);
+        let raw = nl.eval_bits(((b as u64) << 8) | a as u64) as u16;
+        prop_assert_eq!(lut.mul(a, b), raw);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: train → quantize → attack → robustness grid,
+//! across every crate in the workspace.
+
+use axdnn::attack::suite::AttackId;
+use axdnn::data::mnist::{MnistConfig, SynthMnist};
+use axdnn::data::Dataset;
+use axdnn::mul::Registry;
+use axdnn::nn::train::{fit, TrainConfig};
+use axdnn::nn::{zoo, Sequential};
+use axdnn::quant::{Placement, QuantModel};
+use axdnn::robust::eval::{craft_adversarial_set, robustness_grid, EvalOpts};
+use axdnn::tensor::Tensor;
+use axdnn::util::rng::Rng;
+
+fn trained_ffnn() -> (Sequential, Dataset, Dataset) {
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 500,
+        seed: 100,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 60,
+        seed: 101,
+        ..Default::default()
+    });
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(50));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            ..Default::default()
+        },
+    );
+    (model, train, test)
+}
+
+#[test]
+fn full_pipeline_produces_sound_robustness_grid() {
+    let (model, train, test) = trained_ffnn();
+    assert!(
+        model.accuracy(&test, 60) > 0.7,
+        "float model must learn the task"
+    );
+
+    let calib: Vec<Tensor> = (0..16).map(|i| train.image(i).clone()).collect();
+    let victim = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+    let reg = Registry::standard();
+    let mults = vec![
+        ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
+        ("17KS".to_string(), reg.build_lut("17KS").unwrap()),
+        ("L40".to_string(), reg.build_lut("L40").unwrap()),
+    ];
+    let opts = EvalOpts {
+        eps_grid: vec![0.0, 0.1, 0.3],
+        n_examples: 40,
+        seed: 9,
+    };
+    let grid = robustness_grid(&model, &victim, &mults, AttackId::BimLinf, &test, &opts);
+
+    // Shape.
+    assert_eq!(grid.eps().len(), 3);
+    assert_eq!(grid.mults().len(), 3);
+    // Quantized accurate victim starts accurate and degrades under attack.
+    assert!(grid.accuracy(0, 0) > 0.7);
+    assert!(grid.accuracy(2, 0) < grid.accuracy(0, 0));
+    // Robustness is monotone non-increasing for the accurate column under
+    // an iterated linf attack (allowing small-sample noise of one step).
+    assert!(grid.accuracy(1, 0) <= grid.accuracy(0, 0) + 0.05);
+
+    // Determinism: the whole pipeline replays bit-identically.
+    let grid2 = robustness_grid(&model, &victim, &mults, AttackId::BimLinf, &test, &opts);
+    assert_eq!(grid, grid2);
+}
+
+#[test]
+fn all_ten_attacks_run_and_respect_budgets() {
+    let (model, _, test) = trained_ffnn();
+    for id in AttackId::ALL {
+        let eps = 0.2;
+        let advs = craft_adversarial_set(&model, id, &test, eps, 8, 3);
+        assert_eq!(advs.len(), 8, "{id}");
+        for (adv, _) in &advs {
+            let d = id.norm().dist(adv, test.image(0)); // distance to wrong image is fine to be large
+            assert!(d.is_finite());
+        }
+        for (i, (adv, y)) in advs.iter().enumerate() {
+            assert_eq!(*y, test.label(i), "{id} must preserve labels");
+            let d = id.norm().dist(adv, test.image(i));
+            assert!(
+                d <= eps + 1e-4,
+                "{id}: perturbation {d} exceeds budget {eps}"
+            );
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}
+
+#[test]
+fn approximation_changes_quantized_behaviour_not_float() {
+    let (model, train, test) = trained_ffnn();
+    let calib: Vec<Tensor> = (0..16).map(|i| train.image(i).clone()).collect();
+    let victim = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+    let reg = Registry::standard();
+    let exact = reg.build_lut("1JFF").unwrap();
+    let approx = reg.build_lut("L40").unwrap();
+
+    let x = test.image(0);
+    // Float path is oblivious to multipliers.
+    let f1 = model.forward(x);
+    let f2 = model.forward(x);
+    assert_eq!(f1, f2);
+    // Quantized path responds to the kernel swap.
+    let q_exact = victim.forward_with(x, &exact);
+    let q_approx = victim.forward_with(x, &approx);
+    assert_ne!(q_exact, q_approx, "L40 must perturb the logits");
+}
+
+#[test]
+fn quantized_accurate_tracks_float_accuracy() {
+    let (model, train, test) = trained_ffnn();
+    let calib: Vec<Tensor> = (0..16).map(|i| train.image(i).clone()).collect();
+    let victim = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+    let exact = Registry::standard().build_lut("1JFF").unwrap();
+    let float_acc = model.accuracy(&test, 60);
+    let quant_acc = victim.accuracy_with(&test, &exact, 60);
+    assert!(
+        (float_acc - quant_acc).abs() < 0.15,
+        "int8 quantization should not destroy accuracy: float {float_acc}, quant {quant_acc}"
+    );
+}
