@@ -275,8 +275,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(14);
         // With an enormous linf budget the noise will virtually always
         // flip this tiny model's decision within 10 draws.
-        let adv =
-            RepeatedAdditiveUniform::new(Norm::Linf).craft(&model, &x, label, 1.0, &mut rng);
+        let adv = RepeatedAdditiveUniform::new(Norm::Linf).craft(&model, &x, label, 1.0, &mut rng);
         // Either fooled, or (extremely unlikely) all draws kept the label.
         let fooled = model.predict(&adv) != label;
         assert!(

@@ -305,6 +305,12 @@ mod tests {
     #[test]
     fn with_steps_validates() {
         let b = Bim::new(Norm::L2).with_steps(3);
-        assert_eq!(b, Bim { norm: Norm::L2, steps: 3 });
+        assert_eq!(
+            b,
+            Bim {
+                norm: Norm::L2,
+                steps: 3
+            }
+        );
     }
 }

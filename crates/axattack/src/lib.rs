@@ -32,6 +32,8 @@
 //! assert!(adv.linf_dist(&x) <= 0.1 + 1e-5);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod decision;
 pub mod gradient;
 pub mod norms;

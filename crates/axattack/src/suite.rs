@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn type_split_matches_table1() {
-        let gradient = AttackId::ALL.iter().filter(|a| a.is_gradient_based()).count();
+        let gradient = AttackId::ALL
+            .iter()
+            .filter(|a| a.is_gradient_based())
+            .count();
         assert_eq!(gradient, 6, "FGM/BIM/PGD x two norms");
         assert_eq!(AttackId::ALL.len() - gradient, 4, "CR, RAG, RAU x2");
     }

@@ -150,7 +150,10 @@ mod tests {
             }
         }
         assert!(max_err > 0, "approximate adder must actually err");
-        assert!(max_err < 1 << (k + 2), "error {max_err} exceeds low-bit mass");
+        assert!(
+            max_err < 1 << (k + 2),
+            "error {max_err} exceeds low-bit mass"
+        );
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
     fn display_formats_are_nonempty() {
         let nl = ArrayMultiplier::new(4, ApproxSpec::exact().with_loa_cols(3)).build();
         let m = ErrorMetrics::from_mul_table(
-            &nl.exhaustive().iter().map(|&v| v as u16).collect::<Vec<_>>(),
+            &nl.exhaustive()
+                .iter()
+                .map(|&v| v as u16)
+                .collect::<Vec<_>>(),
             4,
         );
         assert!(!m.to_string().is_empty());

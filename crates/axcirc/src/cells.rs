@@ -164,7 +164,12 @@ mod tests {
                 let (want_s, want_c) = cell.reference(a, b, c);
                 let o = nl.eval_bits(bits);
                 assert_eq!(o & 1 == 1, want_s, "{} sum at {bits:03b}", cell.name());
-                assert_eq!(o >> 1 & 1 == 1, want_c, "{} cout at {bits:03b}", cell.name());
+                assert_eq!(
+                    o >> 1 & 1 == 1,
+                    want_c,
+                    "{} cout at {bits:03b}",
+                    cell.name()
+                );
             }
         }
     }

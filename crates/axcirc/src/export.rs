@@ -109,8 +109,12 @@ pub fn to_dot(nl: &Netlist, graph_name: &str) -> String {
         } else {
             "ellipse"
         };
-        writeln!(out, "  n{i} [label=\"{}\" shape={shape}];", node_label(node))
-            .expect("write to string");
+        writeln!(
+            out,
+            "  n{i} [label=\"{}\" shape={shape}];",
+            node_label(node)
+        )
+        .expect("write to string");
         let mut edge = |src: usize| {
             writeln!(out, "  n{src} -> n{i};").expect("write to string");
         };

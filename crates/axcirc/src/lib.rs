@@ -34,6 +34,8 @@
 //! assert_eq!(lut[(200 << 8) | 17] as u32, 200 * 17);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod adders;
 pub mod analysis;
 pub mod cells;
@@ -45,5 +47,5 @@ pub mod signed_mul;
 pub use analysis::{AreaReport, ErrorMetrics};
 pub use cells::ApproxCell;
 pub use multiplier::{ApproxSpec, ArrayMultiplier};
-pub use signed_mul::BaughWooleyMultiplier;
 pub use netlist::{Netlist, NodeId};
+pub use signed_mul::BaughWooleyMultiplier;

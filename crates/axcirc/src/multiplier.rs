@@ -190,9 +190,7 @@ impl ArrayMultiplier {
                 // LOA region: OR-compress everything, no carries out.
                 let out = match bits.split_first() {
                     None => zero,
-                    Some((&first, rest)) => {
-                        rest.iter().fold(first, |acc, &x| nl.or(acc, x))
-                    }
+                    Some((&first, rest)) => rest.iter().fold(first, |acc, &x| nl.or(acc, x)),
                 };
                 outputs.push(out);
                 continue;

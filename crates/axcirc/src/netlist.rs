@@ -282,7 +282,13 @@ impl Netlist {
     pub fn eval_bits(&self, input_bits: u64) -> u64 {
         assert!(self.outputs.len() <= 64, "too many outputs to pack");
         let words: Vec<u64> = (0..self.num_inputs)
-            .map(|k| if input_bits >> k & 1 == 1 { u64::MAX } else { 0 })
+            .map(|k| {
+                if input_bits >> k & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
             .collect();
         let outs = self.eval_words(&words);
         outs.iter()
@@ -386,9 +392,7 @@ impl Netlist {
                 *o += (s & mask).count_ones() as u64;
             }
         }
-        ones.into_iter()
-            .map(|c| c as f64 / total as f64)
-            .collect()
+        ones.into_iter().map(|c| c as f64 / total as f64).collect()
     }
 }
 

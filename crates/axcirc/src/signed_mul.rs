@@ -82,7 +82,7 @@ impl BaughWooleyMultiplier {
             let one = nl.constant(true);
             cols[w].push(one);
         }
-        if out_bits - 1 >= spec.truncate_cols {
+        if out_bits > spec.truncate_cols {
             let one = nl.constant(true);
             cols[out_bits - 1].push(one);
         }
@@ -140,7 +140,11 @@ impl BaughWooleyMultiplier {
 
 /// Interprets a `bits`-wide little-endian word as two's complement.
 pub fn as_signed(value: u64, bits: usize) -> i64 {
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let v = value & mask;
     if bits < 64 && v >> (bits - 1) & 1 == 1 {
         (v as i64) - (1i64 << bits)

@@ -2,8 +2,8 @@
 
 use axcirc::adders::{eval_adder, lower_or_adder, ripple_carry_adder};
 use axcirc::cells::ApproxCell;
-use axcirc::{ApproxSpec, ArrayMultiplier, BaughWooleyMultiplier, ErrorMetrics, Netlist};
 use axcirc::signed_mul::as_signed;
+use axcirc::{ApproxSpec, ArrayMultiplier, BaughWooleyMultiplier, ErrorMetrics, Netlist};
 use proptest::prelude::*;
 
 proptest! {

@@ -163,7 +163,10 @@ impl Canvas {
                         for dx in -1i32..=1 {
                             let nx = x as i32 + dx;
                             let ny = y as i32 + dy;
-                            if nx >= 0 && ny >= 0 && (nx as usize) < self.w && (ny as usize) < self.h
+                            if nx >= 0
+                                && ny >= 0
+                                && (nx as usize) < self.w
+                                && (ny as usize) < self.h
                             {
                                 sum += src[ny as usize * self.w + nx as usize];
                                 n += 1.0;
@@ -222,10 +225,7 @@ impl Affine {
         y *= self.scale_y;
         let (s, c) = self.rotate.sin_cos();
         let (rx, ry) = (c * x - s * y, s * x + c * y);
-        (
-            rx + 0.5 + self.translate.0,
-            ry + 0.5 + self.translate.1,
-        )
+        (rx + 0.5 + self.translate.0, ry + 0.5 + self.translate.1)
     }
 
     /// Applies the transform to every point of a polyline.

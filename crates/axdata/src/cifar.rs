@@ -114,9 +114,21 @@ impl SynthCifar {
                 }
             }
             // 1: horizontal stripes.
-            1 => mask = stripes(std::f32::consts::FRAC_PI_2, rng.range_f32(2.0, 5.0), rng.range_f32(0.0, 6.28)),
+            1 => {
+                mask = stripes(
+                    std::f32::consts::FRAC_PI_2,
+                    rng.range_f32(2.0, 5.0),
+                    rng.range_f32(0.0, std::f32::consts::TAU),
+                )
+            }
             // 2: vertical stripes.
-            2 => mask = stripes(0.0, rng.range_f32(2.0, 5.0), rng.range_f32(0.0, 6.28)),
+            2 => {
+                mask = stripes(
+                    0.0,
+                    rng.range_f32(2.0, 5.0),
+                    rng.range_f32(0.0, std::f32::consts::TAU),
+                )
+            }
             // 3: checkerboard.
             3 => {
                 let cells = 2 + rng.index(4);
@@ -131,12 +143,7 @@ impl SynthCifar {
             // 4: filled disc.
             4 => {
                 let r = rng.range_f32(0.18, 0.33);
-                mask.fill_disc(
-                    rng.range_f32(0.35, 0.65),
-                    rng.range_f32(0.35, 0.65),
-                    r,
-                    1.0,
-                );
+                mask.fill_disc(rng.range_f32(0.35, 0.65), rng.range_f32(0.35, 0.65), r, 1.0);
             }
             // 5: ring.
             5 => {
@@ -192,7 +199,7 @@ impl SynthCifar {
                 mask = stripes(
                     std::f32::consts::FRAC_PI_4,
                     rng.range_f32(2.5, 5.0),
-                    rng.range_f32(0.0, 6.28),
+                    rng.range_f32(0.0, std::f32::consts::TAU),
                 )
             }
             _ => panic!("class {class} out of range"),
@@ -338,8 +345,16 @@ mod tests {
             let f = feat(im);
             let best = (0..10)
                 .min_by(|&a, &b| {
-                    let da: f32 = centroids[a].iter().zip(&f).map(|(&c, &v)| (c - v) * (c - v)).sum();
-                    let db: f32 = centroids[b].iter().zip(&f).map(|(&c, &v)| (c - v) * (c - v)).sum();
+                    let da: f32 = centroids[a]
+                        .iter()
+                        .zip(&f)
+                        .map(|(&c, &v)| (c - v) * (c - v))
+                        .sum();
+                    let db: f32 = centroids[b]
+                        .iter()
+                        .zip(&f)
+                        .map(|(&c, &v)| (c - v) * (c - v))
+                        .sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();

@@ -27,6 +27,8 @@
 //! assert!(data.label(0) < 10);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod canvas;
 pub mod cifar;
 pub mod dataset;

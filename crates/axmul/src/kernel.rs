@@ -75,12 +75,16 @@ mod tests {
     }
 
     #[test]
+    // The borrow is the point: it instantiates the blanket `impl MulKernel
+    // for &K` forwarding.
+    #[allow(clippy::needless_borrows_for_generic_args)]
     fn kernel_usable_through_reference() {
         fn takes_kernel<K: MulKernel>(k: K) -> u16 {
             k.mul(3, 7)
         }
         let k = ExactMul;
         assert_eq!(takes_kernel(&k), 21);
+        assert_eq!(takes_kernel(k), 21);
         assert_eq!(k.name(), "exact");
     }
 }

@@ -39,6 +39,8 @@
 //! assert_ne!(approx.mul(255, 255), 255 * 255); // approximate part
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod kernel;
 pub mod lut;
 pub mod metrics;

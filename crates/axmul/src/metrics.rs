@@ -110,7 +110,11 @@ mod tests {
         let sheets = datasheets(&reg);
         let md = report_markdown(&sheets);
         for spec in reg.specs() {
-            assert!(md.contains(&spec.full_name()), "missing {}", spec.full_name());
+            assert!(
+                md.contains(&spec.full_name()),
+                "missing {}",
+                spec.full_name()
+            );
         }
         // Header + separator + one row per part.
         assert_eq!(md.lines().count(), 2 + sheets.len());

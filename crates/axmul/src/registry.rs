@@ -55,7 +55,9 @@ impl Registry {
             MulSpec::new(
                 "FTA",
                 u,
-                ApproxSpec::exact().with_truncate_cols(8).with_compensation(),
+                ApproxSpec::exact()
+                    .with_truncate_cols(8)
+                    .with_compensation(),
                 0.51,
             ),
             // M7: published MAE 1.12%; carry-blind cells through column 10
@@ -140,7 +142,9 @@ impl Registry {
 
     /// The LeNet-5 / MNIST part names in paper order (M1..M9).
     pub fn lenet_set() -> [&'static str; 9] {
-        ["1JFF", "96D", "12N4", "17KS", "1AGV", "FTA", "JQQ", "L40", "JV3"]
+        [
+            "1JFF", "96D", "12N4", "17KS", "1AGV", "FTA", "JQQ", "L40", "JV3",
+        ]
     }
 
     /// The AlexNet / CIFAR-10 part names in paper order (M1..M8).
@@ -198,7 +202,10 @@ mod tests {
         assert!(reg.find("1JFF").unwrap().is_exact());
         assert!(reg.find("1JFF_S").unwrap().is_exact());
         for name in Registry::lenet_set().iter().skip(1) {
-            assert!(!reg.find(name).unwrap().is_exact(), "{name} should approximate");
+            assert!(
+                !reg.find(name).unwrap().is_exact(),
+                "{name} should approximate"
+            );
         }
     }
 

@@ -78,8 +78,16 @@ impl Conv2d {
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         let k = self.weight.dims()[2];
-        let oh = (h + 2 * self.pad).checked_sub(k).expect("kernel larger than input") / self.stride + 1;
-        let ow = (w + 2 * self.pad).checked_sub(k).expect("kernel larger than input") / self.stride + 1;
+        let oh = (h + 2 * self.pad)
+            .checked_sub(k)
+            .expect("kernel larger than input")
+            / self.stride
+            + 1;
+        let ow = (w + 2 * self.pad)
+            .checked_sub(k)
+            .expect("kernel larger than input")
+            / self.stride
+            + 1;
         (oh, ow)
     }
 
@@ -132,9 +140,11 @@ impl Conv2d {
         &self,
         x: &Tensor,
         grad_out: &Tensor,
-        mut param_grads: Option<&mut [Tensor]>,
+        param_grads: Option<&mut [Tensor]>,
     ) -> Tensor {
-        let [ic, h, w] = *x.dims() else { unreachable!() };
+        let [ic, h, w] = *x.dims() else {
+            unreachable!()
+        };
         let [oc, _, kh, kw] = *self.weight.dims() else {
             unreachable!()
         };
@@ -148,7 +158,7 @@ impl Conv2d {
         let gd = grad_out.data();
         let (s, p) = (self.stride as isize, self.pad as isize);
         // Borrow the two gradient buffers up front, if requested.
-        let (mut dw, mut db): (Option<&mut [f32]>, Option<&mut [f32]>) = match param_grads.as_deref_mut() {
+        let (mut dw, mut db): (Option<&mut [f32]>, Option<&mut [f32]>) = match param_grads {
             Some(slice) => {
                 let (wg, bg) = slice.split_at_mut(1);
                 (Some(wg[0].data_mut()), Some(bg[0].data_mut()))
@@ -437,7 +447,9 @@ mod tests {
         // the objective is sensitive to every output.
         let weights: Vec<f32> = {
             let y = layer.forward(x);
-            (0..y.len()).map(|i| ((i % 7) as f32 - 3.0) / 3.0 + 0.1).collect()
+            (0..y.len())
+                .map(|i| ((i % 7) as f32 - 3.0) / 3.0 + 0.1)
+                .collect()
         };
         let objective = |l: &Layer, xx: &Tensor| -> f32 {
             let y = l.forward(xx);
@@ -464,8 +476,7 @@ mod tests {
         }
 
         // Parameter gradient check.
-        let n_params = layer.params().len();
-        for pi in 0..n_params {
+        for (pi, pgrad) in pgrads.iter().enumerate() {
             let plen = layer.params()[pi].len();
             for j in (0..plen).step_by((plen / 13).max(1)) {
                 let mut lp = layer.clone();
@@ -473,7 +484,7 @@ mod tests {
                 let mut lm = layer.clone();
                 lm.params_mut()[pi].data_mut()[j] -= eps;
                 let num = (objective(&lp, x) - objective(&lm, x)) / (2.0 * eps);
-                let ana = pgrads[pi].data()[j];
+                let ana = pgrad.data()[j];
                 assert!(
                     (num - ana).abs() < 1e-2 * (1.0 + num.abs().max(ana.abs())),
                     "{} param {pi} grad [{j}]: numeric {num} vs analytic {ana}",

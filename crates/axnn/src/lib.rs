@@ -11,7 +11,7 @@
 //!   and accuracy evaluation.
 //! * [`init`] / [`optim`] / [`train`] — He initialization, SGD with
 //!   momentum and a deterministic mini-batch training loop (batch
-//!   gradients are accumulated in parallel with `crossbeam`).
+//!   gradients are accumulated in parallel via `axutil::parallel`).
 //! * [`zoo`] — the paper's architectures: LeNet-5, a 5-conv/3-pool/2-FC
 //!   AlexNet-mini, and the motivational-study FFNN.
 //! * [`serialize`] — explicit binary weight artifacts (see
@@ -35,6 +35,8 @@
 //! let logits = model.forward(&Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5], &[4]));
 //! assert_eq!(logits.len(), 2);
 //! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod init;
 pub mod layer;

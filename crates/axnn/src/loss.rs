@@ -4,7 +4,10 @@ use axtensor::Tensor;
 
 /// Numerically stable softmax probabilities.
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let max = logits.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let max = logits
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(exps.into_iter().map(|e| e / sum).collect(), logits.dims())

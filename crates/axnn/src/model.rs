@@ -22,7 +22,11 @@ impl GradBuffer {
     ///
     /// Panics on layout mismatch.
     pub fn accumulate(&mut self, other: &GradBuffer) {
-        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(a.len(), b.len());
             for (ta, tb) in a.iter_mut().zip(b) {
@@ -133,7 +137,11 @@ impl Sequential {
         let mut buf = self.zero_grads();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let pg = &mut buf.layers[i];
-            let slice = if pg.is_empty() { None } else { Some(pg.as_mut_slice()) };
+            let slice = if pg.is_empty() {
+                None
+            } else {
+                Some(pg.as_mut_slice())
+            };
             grad = layer.backward(&inputs[i], &grad, slice);
         }
         (loss, buf)
@@ -261,7 +269,10 @@ mod tests {
             let lm = crate::loss::cross_entropy(&mm.forward(&x), 0);
             let num = (lp - lm) / (2.0 * eps);
             let ana = grads.layers[0][0].data()[j];
-            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "{num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "{num} vs {ana}"
+            );
         }
     }
 

@@ -34,7 +34,7 @@ fn put_tensor(w: &mut ByteWriter, t: &Tensor) {
 fn get_tensor(r: &mut ByteReader<'_>) -> Result<Tensor, AxError> {
     let dims: Vec<usize> = r.get_u64_vec()?.into_iter().map(|d| d as usize).collect();
     let data = r.get_f32_vec()?;
-    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.contains(&0) {
         return Err(AxError::format("tensor with empty shape"));
     }
     if dims.iter().product::<usize>() != data.len() {

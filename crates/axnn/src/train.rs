@@ -53,11 +53,7 @@ pub struct TrainHistory {
 }
 
 /// Computes the mean gradient over a batch, parallelized over examples.
-pub fn batch_gradient(
-    model: &Sequential,
-    data: &Dataset,
-    indices: &[usize],
-) -> (f32, GradBuffer) {
+pub fn batch_gradient(model: &Sequential, data: &Dataset, indices: &[usize]) -> (f32, GradBuffer) {
     let n = indices.len().max(1);
     let (loss_sum, mut grads) = parallel::par_reduce(
         indices.len(),
@@ -91,7 +87,10 @@ pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHi
         accuracies: Vec::with_capacity(cfg.epochs),
     };
     for epoch in 0..cfg.epochs {
-        let batches = data.batch_indices(cfg.batch_size, cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37));
+        let batches = data.batch_indices(
+            cfg.batch_size,
+            cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37),
+        );
         let mut loss_acc = 0.0f64;
         for batch in &batches {
             let (loss, grads) = batch_gradient(model, data, batch);
@@ -215,7 +214,12 @@ mod tests {
         }
         expect.scale(1.0 / 8.0);
         assert!((loss - loss_expect).abs() < 1e-5);
-        for (a, b) in grads.layers.iter().flatten().zip(expect.layers.iter().flatten()) {
+        for (a, b) in grads
+            .layers
+            .iter()
+            .flatten()
+            .zip(expect.layers.iter().flatten())
+        {
             for (&va, &vb) in a.data().iter().zip(b.data()) {
                 assert!((va - vb).abs() < 1e-5);
             }

@@ -125,16 +125,8 @@ mod tests {
         let m = alexnet_mini(&mut Rng::seed_from_u64(0));
         let y = m.forward(&Tensor::zeros(&[3, 32, 32]));
         assert_eq!(y.len(), 10);
-        let convs = m
-            .layers()
-            .iter()
-            .filter(|l| l.kind() == "conv2d")
-            .count();
-        let pools = m
-            .layers()
-            .iter()
-            .filter(|l| l.kind() == "avgpool")
-            .count();
+        let convs = m.layers().iter().filter(|l| l.kind() == "conv2d").count();
+        let pools = m.layers().iter().filter(|l| l.kind() == "avgpool").count();
         let dense = m.layers().iter().filter(|l| l.kind() == "dense").count();
         assert_eq!((convs, pools, dense), (5, 3, 2), "paper §IV.A topology");
     }

@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod placement;
 pub mod qlevel;
 pub mod qmodel;

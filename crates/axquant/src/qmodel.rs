@@ -206,7 +206,13 @@ impl QuantModel {
                         let post_relu_max = out_max[i + 1].value();
                         let out_scale = level.act_params(post_relu_max).scale();
                         qlayers.push(QLayer::Dense {
-                            w: QWeights::build(d.weight(), d.bias(), in_scale, Some(out_scale), level),
+                            w: QWeights::build(
+                                d.weight(),
+                                d.bias(),
+                                in_scale,
+                                Some(out_scale),
+                                level,
+                            ),
                             out_dim: dims[0],
                             in_dim: dims[1],
                         });
@@ -231,11 +237,7 @@ impl QuantModel {
         }
         match qlayers.last() {
             Some(QLayer::Dense { w, .. }) if w.requant.is_none() => {}
-            _ => {
-                return Err(AxError::config(
-                    "network must end in a dense logits layer",
-                ))
-            }
+            _ => return Err(AxError::config("network must end in a dense logits layer")),
         }
         Ok(QuantModel {
             name: format!("{}-{level}", model.name()),
@@ -516,10 +518,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let model = Sequential::new(
             "lin",
-            vec![
-                Layer::Flatten,
-                Layer::Dense(Dense::new(4, 3, &mut rng)),
-            ],
+            vec![Layer::Flatten, Layer::Dense(Dense::new(4, 3, &mut rng))],
         );
         let calib = calib_images(8, &[1, 2, 2], 2);
         let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
@@ -626,12 +625,14 @@ mod tests {
         use crate::qlevel::QLevel;
         let model = zoo::lenet5(&mut Rng::seed_from_u64(20));
         let calib = calib_images(4, &[1, 28, 28], 21);
-        let q8 = QuantModel::from_float_with_level(
-            &model, &calib, Placement::ConvOnly, QLevel::INT8,
-        )
-        .unwrap();
+        let q8 =
+            QuantModel::from_float_with_level(&model, &calib, Placement::ConvOnly, QLevel::INT8)
+                .unwrap();
         let q4 = QuantModel::from_float_with_level(
-            &model, &calib, Placement::ConvOnly, QLevel::new(4, 4),
+            &model,
+            &calib,
+            Placement::ConvOnly,
+            QLevel::new(4, 4),
         )
         .unwrap();
         assert_eq!(q8.level(), QLevel::INT8);
@@ -646,7 +647,10 @@ mod tests {
         let fl = model.forward(img);
         let d8 = fl.l2_dist(&l8);
         let d4 = fl.l2_dist(&l4);
-        assert!(d8 <= d4, "w8a8 should track float at least as well: {d8} vs {d4}");
+        assert!(
+            d8 <= d4,
+            "w8a8 should track float at least as well: {d8} vs {d4}"
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! assert_eq!(x.argmax(), 2);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod shape;
 pub mod stats;
 pub mod tensor;

@@ -27,7 +27,10 @@ impl Shape {
     /// in this workspace and zero dims usually indicate a bug).
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "shape needs at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in {dims:?}"
+        );
         Shape {
             dims: dims.to_vec(),
         }

@@ -215,7 +215,11 @@ impl Tensor {
 
     /// Euclidean (`l2`) norm.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Chebyshev (`linf`) norm.

@@ -4,8 +4,7 @@ use axtensor::Tensor;
 use proptest::prelude::*;
 
 fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-100.0f32..100.0, n..=n)
-        .prop_map(move |v| Tensor::from_vec(v, &[n]))
+    proptest::collection::vec(-100.0f32..100.0, n..=n).prop_map(move |v| Tensor::from_vec(v, &[n]))
 }
 
 proptest! {

@@ -73,7 +73,7 @@ mod tests {
             AxError::format("bad magic"),
             AxError::shape("2x3 vs 4x5"),
             AxError::config("epsilon must be >= 0"),
-            AxError::from(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            AxError::from(std::io::Error::other("x")),
         ];
         for e in errs {
             let s = e.to_string();

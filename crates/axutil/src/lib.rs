@@ -9,7 +9,7 @@
 //!   weight initialization and attack draw is bit-reproducible across
 //!   platforms and library versions, which is what makes the experiment
 //!   tables in `EXPERIMENTS.md` regenerable.
-//! * [`parallel`] — scoped-thread helpers built on `crossbeam` for
+//! * [`parallel`] — scoped-thread helpers built on [`std::thread::scope`] for
 //!   embarrassingly parallel loops (per-image evaluation, batch gradients).
 //! * [`binio`] — a small explicit binary codec (on top of `bytes`) used for
 //!   model-weight artifacts; explicit codecs keep artifacts bit-stable.
@@ -26,6 +26,8 @@
 //! assert!((0.0..1.0).contains(&x));
 //! assert!(y.is_finite());
 //! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod binio;
 pub mod error;

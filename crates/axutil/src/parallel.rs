@@ -1,4 +1,4 @@
-//! Scoped-thread parallel helpers built on `crossbeam`.
+//! Scoped-thread parallel helpers built on [`std::thread::scope`].
 //!
 //! The experiments are embarrassingly parallel over images (robustness
 //! evaluation) and over batch elements (gradient accumulation). These
@@ -46,18 +46,17 @@ where
     }
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, slot) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = w * chunk;
                 for (i, s) in slot.iter_mut().enumerate() {
                     *s = Some(f(base + i));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
@@ -91,13 +90,12 @@ where
         return;
     }
     let chunk = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, slice) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| f(w * chunk, slice));
+            scope.spawn(move || f(w * chunk, slice));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Reduces `0..n` in parallel: each worker folds its indices into an
@@ -123,11 +121,11 @@ where
     }
     let chunk = n.div_ceil(workers);
     let mut parts: Vec<Option<A>> = (0..workers).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, slot) in parts.iter_mut().enumerate() {
             let init = &init;
             let fold = &fold;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
                 let mut acc = init();
@@ -137,8 +135,7 @@ where
                 *slot = Some(acc);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     let mut iter = parts.into_iter().flatten();
     let first = iter.next().expect("at least one worker");
     iter.fold(first, merge)

@@ -77,10 +77,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -307,7 +304,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "100! leaves ~0 chance of identity");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "100! leaves ~0 chance of identity"
+        );
     }
 
     #[test]
@@ -341,6 +342,9 @@ mod tests {
         );
         // Guards against accidental algorithm changes: value fixed at first
         // release of this crate.
-        assert_eq!(Rng::seed_from_u64(42).next_u64() & 1, Rng::seed_from_u64(42).next_u64() & 1);
+        assert_eq!(
+            Rng::seed_from_u64(42).next_u64() & 1,
+            Rng::seed_from_u64(42).next_u64() & 1
+        );
     }
 }

@@ -10,8 +10,8 @@ use axnn::zoo;
 use axquant::{Placement, QuantModel};
 use axtensor::Tensor;
 use axutil::rng::Rng;
-use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 /// A kernel that evaluates the gate-level netlist on every MAC — what
 /// inference would cost without LUT flattening.
@@ -84,8 +84,13 @@ fn bench_error_structure(c: &mut Criterion) {
     let q = QuantModel::from_float(&model, &[img.clone()], Placement::ConvOnly).unwrap();
     let trunc = MulLut::from_netlist(
         "trunc8c",
-        &ArrayMultiplier::new(8, ApproxSpec::exact().with_truncate_cols(8).with_compensation())
-            .build(),
+        &ArrayMultiplier::new(
+            8,
+            ApproxSpec::exact()
+                .with_truncate_cols(8)
+                .with_compensation(),
+        )
+        .build(),
     );
     let loa = MulLut::from_netlist(
         "loa8",

@@ -5,8 +5,8 @@ use axattack::suite::AttackId;
 use axnn::zoo;
 use axtensor::Tensor;
 use axutil::rng::Rng;
-use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn bench_attacks(c: &mut Criterion) {
     let model = zoo::ffnn(&mut Rng::seed_from_u64(1));

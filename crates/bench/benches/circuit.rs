@@ -1,13 +1,15 @@
 //! Gate-level simulation benchmarks: bit-parallel netlist evaluation,
 //! exhaustive characterization and the physical-cost analysis.
 
-use axcirc::{AreaReport, ApproxSpec, ArrayMultiplier, ErrorMetrics};
-use std::hint::black_box;
+use axcirc::{ApproxSpec, AreaReport, ArrayMultiplier, ErrorMetrics};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn bench_netlist(c: &mut Criterion) {
     let nl = ArrayMultiplier::new(8, ApproxSpec::exact()).build();
-    let words: Vec<u64> = (0..16).map(|i| 0x0123_4567_89AB_CDEF ^ (i as u64)).collect();
+    let words: Vec<u64> = (0..16)
+        .map(|i| 0x0123_4567_89AB_CDEF ^ (i as u64))
+        .collect();
     c.bench_function("netlist_eval_64_vectors", |b| {
         b.iter(|| nl.eval_words(black_box(&words)))
     });

@@ -6,8 +6,8 @@ use axnn::zoo;
 use axquant::{Placement, QuantModel};
 use axtensor::Tensor;
 use axutil::rng::Rng;
-use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn setup() -> (axnn::Sequential, QuantModel, Tensor) {
     let model = zoo::lenet5(&mut Rng::seed_from_u64(1));

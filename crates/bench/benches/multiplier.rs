@@ -3,8 +3,8 @@
 
 use axmul::kernel::{ExactMul, MulKernel};
 use axmul::{MulLut, Registry};
-use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
     let exact_lut = MulLut::exact();

@@ -25,14 +25,16 @@ fn main() {
     let opts = bench::figure_opts_from_env();
     let lenet = store.lenet5_mnist().expect("lenet");
     let test = store.mnist_test();
-    let victim = quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly)
-        .expect("quantize");
+    let victim =
+        quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly).expect("quantize");
 
     // Matched-MAE trio (all ~0.4-0.7% MAE, very different bias).
     let candidates = vec![
         lut_of(
             "trunc8+comp (const-bias)",
-            ApproxSpec::exact().with_truncate_cols(8).with_compensation(),
+            ApproxSpec::exact()
+                .with_truncate_cols(8)
+                .with_compensation(),
         ),
         lut_of("loa9 (input-coupled)", ApproxSpec::exact().with_loa_cols(9)),
         lut_of(
@@ -49,8 +51,7 @@ fn main() {
         "| recipe | MAE% | bias (LSB) | clean % | CR-l2 eps2 % | BIM-linf eps0.1 % |\n|---|---|---|---|---|---|\n",
     );
     let cr = craft_adversarial_set(&lenet, AttackId::CrL2, test, 2.0, opts.n_eval, opts.seed);
-    let bim =
-        craft_adversarial_set(&lenet, AttackId::BimLinf, test, 0.1, opts.n_eval, opts.seed);
+    let bim = craft_adversarial_set(&lenet, AttackId::BimLinf, test, 0.1, opts.n_eval, opts.seed);
     for (name, lut, m) in &candidates {
         let clean = victim.accuracy_with(test, lut, opts.n_eval);
         let acc_cr = adversarial_accuracy(&victim, lut, &cr);

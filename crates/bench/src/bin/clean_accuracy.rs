@@ -3,9 +3,9 @@
 //! inference accuracy" ladder of §IV.B and doubles as the recipe
 //! calibration check.
 
+use axmul::Registry;
 use axquant::Placement;
 use axrobust::experiments::{cifar_mult_columns, mnist_mult_columns, quantize_victim};
-use axmul::Registry;
 
 fn main() {
     let store = bench::store_from_env();

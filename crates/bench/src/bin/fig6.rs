@@ -9,7 +9,9 @@ fn main() {
     let lenet = store.lenet5_mnist().expect("lenet");
     let victim =
         quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly).expect("quantize");
-    let panels = bench::timed("fig6", || run_fig6(&lenet, &victim, store.mnist_test(), &opts));
+    let panels = bench::timed("fig6", || {
+        run_fig6(&lenet, &victim, store.mnist_test(), &opts)
+    });
     let mut out = format!("# Fig 6 (n_eval = {})\n\n", opts.n_eval);
     for p in &panels {
         out.push_str(&p.to_text());

@@ -9,7 +9,9 @@ fn main() {
     let alex = store.alexnet_cifar().expect("alexnet");
     let victim =
         quantize_victim(&alex, store.cifar_train(), Placement::ConvOnly).expect("quantize");
-    let panels = bench::timed("fig7", || run_fig7(&alex, &victim, store.cifar_test(), &opts));
+    let panels = bench::timed("fig7", || {
+        run_fig7(&alex, &victim, store.cifar_test(), &opts)
+    });
     let mut out = format!("# Fig 7 (n_eval = {})\n\n", opts.n_eval);
     for p in &panels {
         out.push_str(&p.to_text());

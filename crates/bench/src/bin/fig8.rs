@@ -10,7 +10,9 @@ fn main() {
     let lenet = store.lenet5_mnist().expect("lenet");
     let victim =
         quantize_victim(&lenet, store.mnist_train(), Placement::ConvOnly).expect("quantize");
-    let study = bench::timed("fig8", || run_fig8(&lenet, &victim, store.mnist_test(), &opts));
+    let study = bench::timed("fig8", || {
+        run_fig8(&lenet, &victim, store.mnist_test(), &opts)
+    });
     let (attack, eps, gain) = study.max_quantization_gain();
     let mut out = format!("# Fig 8 (n_eval = {})\n\n", opts.n_eval);
     out.push_str(&study.to_text());

@@ -7,9 +7,8 @@ use axmul::Registry;
 fn main() {
     let reg = Registry::standard();
     let sheets = bench::timed("characterize", || datasheets(&reg));
-    let mut out = String::from(
-        "# Multiplier datasheets (exhaustive over all 2^16 operand pairs)\n\n",
-    );
+    let mut out =
+        String::from("# Multiplier datasheets (exhaustive over all 2^16 operand pairs)\n\n");
     out.push_str(&report_markdown(&sheets));
     bench::emit("multipliers_report", &out);
 }

@@ -3,5 +3,11 @@
 use axattack::suite::table1_markdown;
 
 fn main() {
-    bench::emit("table1", &format!("# Table I: attacks, types, distance metrics\n\n{}", table1_markdown()));
+    bench::emit(
+        "table1",
+        &format!(
+            "# Table I: attacks, types, distance metrics\n\n{}",
+            table1_markdown()
+        ),
+    );
 }

@@ -3,12 +3,22 @@
 
 fn main() {
     let store = bench::store_from_env();
-    bench::timed("lenet5-mnist", || store.lenet5_mnist().expect("train lenet5"));
+    bench::timed("lenet5-mnist", || {
+        store.lenet5_mnist().expect("train lenet5")
+    });
     bench::timed("ffnn-mnist", || store.ffnn_mnist().expect("train ffnn"));
-    bench::timed("alexnet-cifar", || store.alexnet_cifar().expect("train alexnet"));
-    bench::timed("lenet5-mnist32", || store.lenet5_mnist32().expect("train lenet5-32"));
-    bench::timed("alexnet-mnist32", || store.alexnet_mnist32().expect("train alexnet-mnist"));
-    bench::timed("lenet5-cifar", || store.lenet5_cifar().expect("train lenet5-cifar"));
+    bench::timed("alexnet-cifar", || {
+        store.alexnet_cifar().expect("train alexnet")
+    });
+    bench::timed("lenet5-mnist32", || {
+        store.lenet5_mnist32().expect("train lenet5-32")
+    });
+    bench::timed("alexnet-mnist32", || {
+        store.alexnet_mnist32().expect("train alexnet-mnist")
+    });
+    bench::timed("lenet5-cifar", || {
+        store.lenet5_cifar().expect("train lenet5-cifar")
+    });
     let test = store.mnist_test();
     let lenet = store.lenet5_mnist().unwrap();
     println!(

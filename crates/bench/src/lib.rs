@@ -19,6 +19,8 @@
 //! done
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::path::PathBuf;
 
 use axrobust::experiments::FigureOpts;
@@ -101,7 +103,7 @@ mod tests {
         let opts = figure_opts_from_env();
         assert!(opts.n_eval > 0);
         assert_eq!(opts.eps_grid.len(), 10);
-        assert!(artifacts_dir().as_os_str().len() > 0);
+        assert!(!artifacts_dir().as_os_str().is_empty());
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub fn evaluate_robustness(
         )));
     }
     // Line 7: fixed-point quantization of the inference model.
-    let calib: Vec<_> = (0..size.min(32)).map(|i| inputs.data.image(i).clone()).collect();
+    let calib: Vec<_> = (0..size.min(32))
+        .map(|i| inputs.data.image(i).clone())
+        .collect();
     let qmdl =
         QuantModel::from_float_with_level(model, &calib, Placement::ConvOnly, inputs.qlevel)?;
     let attack = inputs.attack.build();
@@ -87,7 +89,13 @@ pub fn evaluate_robustness(
             // multiplier (float model = accurate-multiplier inference).
             let mut rng = Rng::seed_from_u64(inputs.seed)
                 .derive(k as u64 ^ ((eps.to_bits() as u64) << 20) ^ ((j as u64) << 52));
-            let x_adv = attack.craft(model, inputs.data.image(k), inputs.data.label(k), eps, &mut rng);
+            let x_adv = attack.craft(
+                model,
+                inputs.data.image(k),
+                inputs.data.label(k),
+                eps,
+                &mut rng,
+            );
             // Line 8: adversarial attack on the quantized model with the
             // victim's multiplier.
             let predicted = qmdl.predict_with(&x_adv, inputs.mult);

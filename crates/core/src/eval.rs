@@ -65,11 +65,7 @@ pub fn craft_adversarial_set(
 }
 
 /// Accuracy of one victim/kernel pair on a crafted adversarial set.
-pub fn adversarial_accuracy(
-    victim: &QuantModel,
-    kernel: &MulLut,
-    advs: &[(Tensor, usize)],
-) -> f32 {
+pub fn adversarial_accuracy(victim: &QuantModel, kernel: &MulLut, advs: &[(Tensor, usize)]) -> f32 {
     if advs.is_empty() {
         return 0.0;
     }
@@ -175,7 +171,11 @@ mod tests {
         assert!((grid.accuracy(0, 0) - clean_exact).abs() < 1e-6);
         // A strong linf attack must strictly reduce accuracy of the
         // accurate column (the model is trained, clean acc is high).
-        assert!(grid.accuracy(0, 0) > 0.5, "training failed? {}", grid.accuracy(0, 0));
+        assert!(
+            grid.accuracy(0, 0) > 0.5,
+            "training failed? {}",
+            grid.accuracy(0, 0)
+        );
         assert!(grid.accuracy(1, 0) < grid.accuracy(0, 0));
     }
 

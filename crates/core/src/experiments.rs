@@ -229,18 +229,37 @@ pub fn run_fig1(
     let q_lenet = quantize_victim(lenet, data, Placement::ConvOnly)?;
     let (acc_s, ax_s) = Registry::fig1_signed_pair();
     let ffnn_mults = vec![
-        (format!("AccSign({acc_s})"), reg.build_lut(acc_s).expect("registered")),
-        (format!("Ax{ax_s}"), reg.build_lut(ax_s).expect("registered")),
+        (
+            format!("AccSign({acc_s})"),
+            reg.build_lut(acc_s).expect("registered"),
+        ),
+        (
+            format!("Ax{ax_s}"),
+            reg.build_lut(ax_s).expect("registered"),
+        ),
     ];
     let (acc_u, ax_u) = Registry::fig1_unsigned_pair();
     let lenet_mults = vec![
-        (format!("AccUnSign({acc_u})"), reg.build_lut(acc_u).expect("registered")),
-        (format!("Ax{ax_u}"), reg.build_lut(ax_u).expect("registered")),
+        (
+            format!("AccUnSign({acc_u})"),
+            reg.build_lut(acc_u).expect("registered"),
+        ),
+        (
+            format!("Ax{ax_u}"),
+            reg.build_lut(ax_u).expect("registered"),
+        ),
     ];
     let eval = opts.eval_opts();
     Ok(vec![
         robustness_grid(ffnn, &q_ffnn, &ffnn_mults, AttackId::PgdLinf, data, &eval),
-        robustness_grid(lenet, &q_lenet, &lenet_mults, AttackId::PgdLinf, data, &eval),
+        robustness_grid(
+            lenet,
+            &q_lenet,
+            &lenet_mults,
+            AttackId::PgdLinf,
+            data,
+            &eval,
+        ),
         robustness_grid(ffnn, &q_ffnn, &ffnn_mults, AttackId::CrL2, data, &eval),
         robustness_grid(lenet, &q_lenet, &lenet_mults, AttackId::CrL2, data, &eval),
     ])

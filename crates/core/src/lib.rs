@@ -50,6 +50,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod algorithm1;
 pub mod eval;
 pub mod experiments;

@@ -41,12 +41,7 @@ impl QuantStudy {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("attack,eps,float_acc,quant_acc\n");
         for pair in &self.pairs {
-            for ((&e, &f), &q) in self
-                .eps
-                .iter()
-                .zip(&pair.float_acc)
-                .zip(&pair.quant_acc)
-            {
+            for ((&e, &f), &q) in self.eps.iter().zip(&pair.float_acc).zip(&pair.quant_acc) {
                 out.push_str(&format!("{},{e},{f:.4},{q:.4}\n", pair.attack));
             }
         }
@@ -55,7 +50,8 @@ impl QuantStudy {
 
     /// Renders a compact text table (two columns per attack).
     pub fn to_text(&self) -> String {
-        let mut out = String::from("Fig 8: quantized (q) vs non-quantized accurate model, accuracy %\n");
+        let mut out =
+            String::from("Fig 8: quantized (q) vs non-quantized accurate model, accuracy %\n");
         for pair in &self.pairs {
             out.push_str(&format!("\n{}\n  eps:   ", pair.attack));
             for e in &self.eps {

@@ -230,13 +230,25 @@ impl ModelStore {
     /// LeNet-5 trained on synthetic MNIST (Figs 4-6, 8).
     pub fn lenet5_mnist(&self) -> Result<Sequential, AxError> {
         let data = self.mnist_train().clone();
-        self.train_or_load("lenet5-mnist", 0xA1, zoo::lenet5, &data, &self.cfg.mnist_cfg.clone())
+        self.train_or_load(
+            "lenet5-mnist",
+            0xA1,
+            zoo::lenet5,
+            &data,
+            &self.cfg.mnist_cfg.clone(),
+        )
     }
 
     /// FFNN trained on synthetic MNIST (Fig 1).
     pub fn ffnn_mnist(&self) -> Result<Sequential, AxError> {
         let data = self.mnist_train().clone();
-        self.train_or_load("ffnn-mnist", 0xA2, zoo::ffnn, &data, &self.cfg.mnist_cfg.clone())
+        self.train_or_load(
+            "ffnn-mnist",
+            0xA2,
+            zoo::ffnn,
+            &data,
+            &self.cfg.mnist_cfg.clone(),
+        )
     }
 
     /// AlexNet-mini trained on synthetic CIFAR (Fig 7, Table II).

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_is_short() {
-        assert_eq!(AdversaryKnowledge::StructureKnown.to_string(), "structure-known");
+        assert_eq!(
+            AdversaryKnowledge::StructureKnown.to_string(),
+            "structure-known"
+        );
     }
 
     #[test]

@@ -10,12 +10,12 @@
 
 use axdnn::attack::suite::AttackId;
 use axdnn::data::mnist::{MnistConfig, SynthMnist};
+use axdnn::mul::Registry;
 use axdnn::nn::train::{fit, TrainConfig};
 use axdnn::nn::zoo;
 use axdnn::quant::Placement;
 use axdnn::robust::eval::{robustness_grid, EvalOpts};
 use axdnn::robust::experiments::{mnist_mult_columns, quantize_victim};
-use axdnn::mul::Registry;
 use axdnn::util::rng::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

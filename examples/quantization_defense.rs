@@ -49,14 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = MulLut::exact();
     let l40 = Registry::standard().build_lut("L40").expect("registered");
 
-    println!("\n{:>6} {:>10} {:>10} {:>10}", "eps", "float %", "quant %", "AxL40 %");
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10}",
+        "eps", "float %", "quant %", "AxL40 %"
+    );
     for eps in [0.0f32, 0.05, 0.1, 0.15, 0.2, 0.3] {
         let advs = craft_adversarial_set(&lenet, AttackId::PgdLinf, &test, eps, 100, 77);
-        let acc_float = advs
-            .iter()
-            .filter(|(x, y)| lenet.predict(x) == *y)
-            .count() as f32
-            / advs.len() as f32;
+        let acc_float =
+            advs.iter().filter(|(x, y)| lenet.predict(x) == *y).count() as f32 / advs.len() as f32;
         let acc_quant = advs
             .iter()
             .filter(|(x, y)| q.predict_with(x, &exact) == *y)

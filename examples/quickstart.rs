@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train the accurate float model (Algorithm 1, line 1).
     let mut model = zoo::ffnn(&mut Rng::seed_from_u64(7));
-    println!("training {} ({} params)...", model.name(), model.num_params());
+    println!(
+        "training {} ({} params)...",
+        model.name(),
+        model.num_params()
+    );
     let hist = fit(
         &mut model,
         &train,
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Pick multipliers: the accurate 1JFF and the paper's worst part L40.
     let reg = Registry::standard();
     let mults = vec![
-        ("1JFF".to_string(), reg.build_lut("1JFF").expect("registered")),
+        (
+            "1JFF".to_string(),
+            reg.build_lut("1JFF").expect("registered"),
+        ),
         ("L40".to_string(), reg.build_lut("L40").expect("registered")),
     ];
 

@@ -33,6 +33,8 @@
 //! robustness grid) and the `bench` crate for the figure regeneration
 //! binaries.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Adversarial attacks (re-export of `axattack`).
 pub use axattack as attack;
 /// Gate-level circuits (re-export of `axcirc`).
@@ -56,9 +58,28 @@ pub use axutil as util;
 mod tests {
     #[test]
     fn reexports_are_wired() {
+        // Every one of the nine re-exported crates answers through its
+        // umbrella path (see also tests/workspace.rs for the manifest side).
         let reg = crate::mul::Registry::standard();
         assert!(reg.find("1JFF").is_some());
         assert_eq!(crate::attack::suite::AttackId::ALL.len(), 10);
         assert_eq!(crate::robust::eval::paper_eps_grid().len(), 10);
+
+        let x = crate::tensor::Tensor::from_vec(vec![3.0, -4.0], &[2]);
+        assert_eq!(x.l2_norm(), 5.0);
+
+        let mut rng = crate::util::rng::Rng::seed_from_u64(9);
+        let data = crate::data::mnist::SynthMnist::generate(&crate::data::mnist::MnistConfig {
+            n: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        assert_eq!(data.len(), 2);
+
+        let model = crate::nn::zoo::ffnn(&mut rng);
+        assert!(model.num_params() > 0);
+
+        assert_eq!(crate::circ::Netlist::new(4).num_inputs(), 4);
+        let _ = crate::quant::Placement::ConvOnly;
     }
 }

@@ -1,0 +1,250 @@
+//! Offline API-compatible subset of the crates.io [`proptest`] crate.
+//!
+//! The workspace builds without network access, so this shim provides the
+//! surface the property tests in `axtensor` and `axcirc` use: the
+//! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], range and [`any`](strategy::any) strategies,
+//! [`collection::vec`], [`Strategy::prop_map`](strategy::Strategy::prop_map)
+//! and [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (every run explores the same
+//! inputs), and failures do not shrink — the failing input values are
+//! printed instead. Swap the `[workspace.dependencies]` path entry for the
+//! crates.io version when network access is available.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool`, mirroring upstream's `proptest::bool` module.
+pub mod bool {
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: crate::strategy::Any<::core::primitive::bool> = crate::strategy::Any::NEW;
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A range of permissible collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.uniform_usize(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Creates a strategy generating `Vec`s with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current property-test case unless `cond` holds.
+///
+/// Must be used inside a [`proptest!`] body; expands to an early
+/// `return Err(..)` like the upstream macro.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that draws inputs from the strategies and runs the
+/// body for [`ProptestConfig::cases`](test_runner::ProptestConfig) cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(::std::stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= 100 * config.cases + 1000,
+                                "{}: too many prop_assume rejections",
+                                ::std::stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            let mut inputs = ::std::string::String::new();
+                            $(
+                                inputs.push_str(&::std::format!(
+                                    "  {} = {:?}\n",
+                                    ::std::stringify!($arg),
+                                    &$arg,
+                                ));
+                            )+
+                            panic!(
+                                "{} failed at case {passed}: {msg}\nwith inputs:\n\
+                                 {inputs}(inputs are drawn from a fixed per-test \
+                                 seed; rerunning reproduces)",
+                                ::std::stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // Default configuration (no inner attribute).
+    ($($rest:tt)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn passing_property_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        #[should_panic(expected = "with inputs:")]
+        fn failing_property_prints_inputs(x in 0u32..10) {
+            prop_assert!(x > 100, "impossible: x = {x}");
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

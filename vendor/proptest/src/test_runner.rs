@@ -1,0 +1,116 @@
+//! Deterministic case generation and the runner-facing error type.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`](crate::prop_assume); the
+    /// runner draws a replacement.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected assumption.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A small SplitMix64 generator, seeded from the test name so every run of
+/// a property explores the same sequence of inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a over the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("foo");
+        let mut b = TestRng::for_test("foo");
+        let mut c = TestRng::for_test("bar");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::for_test("unit");
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_bounds() {
+        let mut r = TestRng::for_test("bounds");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.uniform_usize(0, 3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
