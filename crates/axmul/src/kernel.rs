@@ -15,6 +15,21 @@ pub trait MulKernel: Sync {
     /// A short display name for reports.
     fn name(&self) -> &str;
 
+    /// The raw 64Ki LUT behind this kernel, indexed `(a << 8) | b`, if it
+    /// has one. Backends use this to run a monomorphic table-read inner
+    /// loop instead of a trait call per MAC.
+    #[inline]
+    fn lut_table(&self) -> Option<&[u16]> {
+        None
+    }
+
+    /// Whether this kernel is the builtin exact multiplier, letting
+    /// backends select the `a * b` fast path.
+    #[inline]
+    fn is_exact(&self) -> bool {
+        false
+    }
+
     /// Multiplies sign-magnitude operands: `|a| * |b|` through the kernel
     /// with the sign applied afterwards. `mag_a`/`mag_b` must be ≤ 255.
     #[inline]
@@ -41,6 +56,11 @@ impl MulKernel for ExactMul {
     fn name(&self) -> &str {
         "exact"
     }
+
+    #[inline]
+    fn is_exact(&self) -> bool {
+        true
+    }
 }
 
 impl<K: MulKernel + ?Sized> MulKernel for &K {
@@ -51,6 +71,87 @@ impl<K: MulKernel + ?Sized> MulKernel for &K {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    #[inline]
+    fn lut_table(&self) -> Option<&[u16]> {
+        (**self).lut_table()
+    }
+
+    #[inline]
+    fn is_exact(&self) -> bool {
+        (**self).is_exact()
+    }
+}
+
+/// The execution strategy a GEMM loop should use for a kernel.
+///
+/// A [`MulKernel`] is a trait object-friendly abstraction, but a trait
+/// call per MAC defeats vectorization and inlining. `MulBackend` is
+/// resolved *once per layer* and lets the inner loop monomorphize:
+/// the exact kernel becomes a plain `a * b`, a [`MulLut`](crate::MulLut)
+/// becomes one bounds-check-free table read, and anything else falls back
+/// to the generic trait call.
+pub enum MulBackend<'a, K: ?Sized> {
+    /// The builtin exact multiply (`a as u16 * b as u16`).
+    Exact,
+    /// A raw 64Ki table indexed `(a << 8) | b`.
+    ///
+    /// Invariant: [`MulBackend::of`] only constructs this variant for
+    /// tables with exactly `2^16` entries — hot loops rely on it to
+    /// elide bounds checks for `u8`-derived indices.
+    Table(&'a [u16]),
+    /// Any other kernel, dispatched through [`MulKernel::mul`].
+    Generic(&'a K),
+}
+
+// Manual impls: derives would wrongly require `K: Copy` / `K: Debug`,
+// but the variants only hold references.
+impl<K: ?Sized> Clone for MulBackend<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K: ?Sized> Copy for MulBackend<'_, K> {}
+
+impl<K: ?Sized> std::fmt::Debug for MulBackend<'_, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MulBackend::Exact => write!(f, "MulBackend::Exact"),
+            MulBackend::Table(_) => write!(f, "MulBackend::Table(..)"),
+            MulBackend::Generic(_) => write!(f, "MulBackend::Generic(..)"),
+        }
+    }
+}
+
+impl<'a, K: MulKernel + ?Sized> MulBackend<'a, K> {
+    /// Classifies a kernel into its fastest execution strategy.
+    ///
+    /// A kernel advertising a LUT of the wrong size (a buggy foreign
+    /// [`MulKernel::lut_table`] impl) falls back to [`MulBackend::Generic`]
+    /// rather than violating the `Table` length invariant — the table
+    /// path elides bounds checks and must never see a short slice.
+    pub fn of(kernel: &'a K) -> Self {
+        if kernel.is_exact() {
+            MulBackend::Exact
+        } else {
+            match kernel.lut_table() {
+                Some(table) if table.len() == 1 << 16 => MulBackend::Table(table),
+                _ => MulBackend::Generic(kernel),
+            }
+        }
+    }
+
+    /// Multiplies through the selected strategy (used by tests and
+    /// non-hot-loop callers; hot loops match on the variant instead).
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u16 {
+        match self {
+            MulBackend::Exact => a as u16 * b as u16,
+            MulBackend::Table(t) => t[((a as usize) << 8) | b as usize],
+            MulBackend::Generic(k) => k.mul(a, b),
+        }
     }
 }
 
@@ -86,5 +187,52 @@ mod tests {
         assert_eq!(takes_kernel(&k), 21);
         assert_eq!(takes_kernel(k), 21);
         assert_eq!(k.name(), "exact");
+    }
+
+    #[test]
+    fn exact_backend_is_exact_variant() {
+        assert!(matches!(MulBackend::of(&ExactMul), MulBackend::Exact));
+        // The forwarding impl preserves the classification.
+        let r = &ExactMul;
+        assert!(matches!(MulBackend::of(&r), MulBackend::Exact));
+        assert_eq!(MulBackend::of(&ExactMul).mul(13, 11), 143);
+    }
+
+    #[test]
+    fn generic_backend_falls_back_to_trait_call() {
+        struct Weird;
+        impl MulKernel for Weird {
+            fn mul(&self, a: u8, b: u8) -> u16 {
+                (a as u16 * b as u16) | 1
+            }
+            fn name(&self) -> &str {
+                "weird"
+            }
+        }
+        let be = MulBackend::of(&Weird);
+        assert!(matches!(be, MulBackend::Generic(_)));
+        assert_eq!(be.mul(4, 4), 17);
+    }
+
+    #[test]
+    fn short_lut_claims_fall_back_to_generic() {
+        // A buggy foreign impl advertising an undersized table must not
+        // reach the bounds-check-free Table path.
+        struct ShortLut(Vec<u16>);
+        impl MulKernel for ShortLut {
+            fn mul(&self, a: u8, b: u8) -> u16 {
+                a as u16 * b as u16
+            }
+            fn name(&self) -> &str {
+                "short"
+            }
+            fn lut_table(&self) -> Option<&[u16]> {
+                Some(&self.0)
+            }
+        }
+        let k = ShortLut(vec![0u16; 16]);
+        let be = MulBackend::of(&k);
+        assert!(matches!(be, MulBackend::Generic(_)));
+        assert_eq!(be.mul(200, 200), 40000);
     }
 }

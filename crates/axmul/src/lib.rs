@@ -15,7 +15,9 @@
 //!
 //! * [`kernel`] — the [`kernel::MulKernel`] trait: one 8x8
 //!   unsigned multiplication, the plug-in point for the quantized
-//!   inference engine.
+//!   inference engine; [`kernel::MulBackend`] classifies a kernel once
+//!   per layer so GEMM inner loops monomorphize (builtin multiply, raw
+//!   table read, or generic trait call).
 //! * [`lut`] — 64Ki-entry lookup tables extracted from netlists; one L1
 //!   resident table lookup per MAC during inference.
 //! * [`spec`] — a named multiplier specification (name, family, recipe,
@@ -48,8 +50,8 @@ pub mod registry;
 pub mod signed;
 pub mod spec;
 
-pub use kernel::{ExactMul, MulKernel};
-pub use lut::MulLut;
+pub use kernel::{ExactMul, MulBackend, MulKernel};
+pub use lut::{transpose_table, MulLut};
 pub use registry::Registry;
 pub use signed::SignedMul;
 pub use spec::{Family, MulSpec};

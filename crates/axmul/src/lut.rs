@@ -10,6 +10,29 @@ use axcirc::Netlist;
 
 use crate::kernel::MulKernel;
 
+/// Swaps the operand order of a 64Ki multiplier table: entry
+/// `(a << 8) | b` of the result is entry `(b << 8) | a` of `src`.
+///
+/// This is the one re-indexing primitive between the `(a, b)` layout used
+/// by [`MulLut`] and the `(b, a)` layout produced by
+/// [`Netlist::exhaustive_u16`] and consumed by
+/// [`axcirc::ErrorMetrics::from_mul_table`]. It is an involution:
+/// transposing twice returns the original table.
+///
+/// # Panics
+///
+/// Panics if `src` does not have exactly `2^16` entries.
+pub fn transpose_table(src: &[u16]) -> Vec<u16> {
+    assert_eq!(src.len(), 1 << 16, "expected a 64Ki 8x8 multiplier table");
+    let mut out = vec![0u16; 1 << 16];
+    for a in 0..=255usize {
+        for b in 0..=255usize {
+            out[(a << 8) | b] = src[(b << 8) | a];
+        }
+    }
+    out
+}
+
 /// A 64Ki-entry unsigned 8x8 multiplier table, indexed by `(a << 8) | b`.
 #[derive(Clone, PartialEq, Eq)]
 pub struct MulLut {
@@ -49,14 +72,8 @@ impl MulLut {
     /// Panics if the netlist does not have 16 inputs.
     pub fn from_netlist(name: impl Into<String>, nl: &Netlist) -> Self {
         assert_eq!(nl.num_inputs(), 16, "expected an 8x8 multiplier netlist");
-        let raw = nl.exhaustive_u16();
         // The netlist is indexed by (b << 8) | a; re-index to (a << 8) | b.
-        let mut table = vec![0u16; 1 << 16].into_boxed_slice();
-        for a in 0..=255usize {
-            for b in 0..=255usize {
-                table[(a << 8) | b] = raw[(b << 8) | a];
-            }
-        }
+        let table = transpose_table(&nl.exhaustive_u16()).into_boxed_slice();
         MulLut {
             name: name.into(),
             table,
@@ -76,13 +93,7 @@ impl MulLut {
     /// Re-indexes into the `(b << 8) | a` layout used by
     /// [`axcirc::ErrorMetrics::from_mul_table`].
     pub fn to_ba_table(&self) -> Vec<u16> {
-        let mut out = vec![0u16; 1 << 16];
-        for a in 0..=255usize {
-            for b in 0..=255usize {
-                out[(b << 8) | a] = self.table[(a << 8) | b];
-            }
-        }
-        out
+        transpose_table(&self.table)
     }
 }
 
@@ -95,6 +106,11 @@ impl MulKernel for MulLut {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    #[inline]
+    fn lut_table(&self) -> Option<&[u16]> {
+        Some(&self.table)
     }
 }
 
@@ -134,6 +150,33 @@ mod tests {
                 assert_eq!(ba[(b << 8) | a], lut.mul(a as u8, b as u8));
             }
         }
+    }
+
+    #[test]
+    fn transpose_table_is_involutive_and_swaps_operands() {
+        let lut = MulLut::from_fn("asym", |a, b| (a as u16) << 2 | (b as u16 & 3));
+        let t = transpose_table(lut.table());
+        for a in (0..=255usize).step_by(13) {
+            for b in (0..=255usize).step_by(17) {
+                assert_eq!(t[(a << 8) | b], lut.mul(b as u8, a as u8));
+            }
+        }
+        assert_eq!(transpose_table(&t), lut.table());
+    }
+
+    #[test]
+    #[should_panic(expected = "64Ki")]
+    fn transpose_table_rejects_short_tables() {
+        let _ = transpose_table(&[0u16; 16]);
+    }
+
+    #[test]
+    fn lut_classifies_as_table_backend() {
+        use crate::kernel::MulBackend;
+        let lut = MulLut::exact();
+        let be = MulBackend::of(&lut);
+        assert!(matches!(be, MulBackend::Table(_)));
+        assert_eq!(be.mul(251, 13), 251 * 13);
     }
 
     #[test]

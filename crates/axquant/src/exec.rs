@@ -1,0 +1,309 @@
+//! Execution kernels for compiled quantized inference.
+//!
+//! These are the hot loops behind [`crate::plan::QPlan`]: input
+//! quantization, `im2col` patch extraction, the sign/magnitude LUT-GEMM
+//! that lowers both conv and dense layers to one inner dot-product shape,
+//! and average pooling. Everything works on flat `u8` scratch slices so
+//! the plan can reuse buffers across images and kernels.
+//!
+//! The GEMM dispatches on [`MulBackend`] *once per layer*, so the inner
+//! loop monomorphizes: the exact kernel compiles to a plain `a * b`, a
+//! [`MulLut`](axmul::MulLut) to one bounds-check-free table read (reading
+//! [`MulLut::table`](axmul::MulLut::table) directly), and only foreign
+//! kernels pay a trait call per MAC.
+//!
+//! # Padding semantics
+//!
+//! Zero-padded conv positions are materialized as `0` activations in the
+//! im2col patch and *go through the multiplier* like every other operand
+//! — the behaviour of a hardware MAC array (and of TFApprox's GPU
+//! LUT-GEMM). For approximate kernels with `mul(w, 0) != 0` this differs
+//! from skipping padded positions, which the earlier scalar engine did;
+//! exact multipliers are unaffected.
+
+use axmul::{MulBackend, MulKernel};
+
+use crate::qmodel::QWeights;
+
+/// Quantizes a float image in `[0, 1]` to `u8` activation codes.
+pub(crate) fn quantize_input(x: &[f32], qmax: f32, out: &mut [u8]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = (v * qmax).round().clamp(0.0, qmax) as u8;
+    }
+}
+
+/// Extracts conv patches: row `p = oy * ow + ox` of `out` is the
+/// `[in_c * k * k]` receptive field of output position `(oy, ox)`,
+/// zero-filled where the window overhangs the (zero-)padded input.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col(
+    x: &[u8],
+    dims: [usize; 3],
+    k: usize,
+    stride: usize,
+    pad: usize,
+    rows: usize,
+    cols: usize,
+    out: &mut [u8],
+) {
+    let [c, h, w] = dims;
+    debug_assert_eq!(x.len(), c * h * w);
+    let ow = (w + 2 * pad - k) / stride + 1;
+    for p in 0..rows {
+        let (oy, ox) = (p / ow, p % ow);
+        let dst = &mut out[p * cols..(p + 1) * cols];
+        let mut j = 0;
+        for ci in 0..c {
+            let base = ci * h * w;
+            for ky in 0..k {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    dst[j..j + k].fill(0);
+                    j += k;
+                    continue;
+                }
+                let row = base + iy as usize * w;
+                for kx in 0..k {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    dst[j] = if ix < 0 || ix >= w as isize {
+                        0
+                    } else {
+                        x[row + ix as usize]
+                    };
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The shared inner loop: `out_c x cols` sign/magnitude weights against
+/// `rows x cols` patches, accumulating in i32 and handing each finished
+/// accumulator to `sink(o * rows + p, acc)`.
+///
+/// `mul` is a concrete closure per [`MulBackend`] variant, so each call
+/// site monomorphizes to a branch-free dot product.
+fn gemm_core<F: Fn(u8, u8) -> u16, S: FnMut(usize, i32)>(
+    w: &QWeights,
+    patch: &[u8],
+    rows: usize,
+    cols: usize,
+    mul: F,
+    mut sink: S,
+) {
+    let out_c = w.bias_q.len();
+    debug_assert!(patch.len() >= rows * cols);
+    debug_assert_eq!(w.mag.len(), out_c * cols);
+    for o in 0..out_c {
+        let mags = &w.mag[o * cols..(o + 1) * cols];
+        let signs = &w.sign[o * cols..(o + 1) * cols];
+        let bias = w.bias_q[o];
+        for p in 0..rows {
+            let prow = &patch[p * cols..(p + 1) * cols];
+            let mut acc = bias;
+            for ((&mg, &sg), &a) in mags.iter().zip(signs).zip(prow) {
+                acc += sg as i32 * mul(mg, a) as i32;
+            }
+            sink(o * rows + p, acc);
+        }
+    }
+}
+
+macro_rules! dispatch_gemm {
+    ($backend:expr, $w:expr, $patch:expr, $rows:expr, $cols:expr, $sink:expr) => {
+        match $backend {
+            MulBackend::Exact => {
+                gemm_core($w, $patch, $rows, $cols, |a, b| a as u16 * b as u16, $sink)
+            }
+            MulBackend::Table(t) => gemm_core(
+                $w,
+                $patch,
+                $rows,
+                $cols,
+                // Operands are u8, so the index is always < 2^16 and the
+                // table (checked in `MulBackend::of`) has 2^16 entries.
+                |a, b| unsafe { *t.get_unchecked(((a as usize) << 8) | b as usize) },
+                $sink,
+            ),
+            MulBackend::Generic(k) => {
+                gemm_core($w, $patch, $rows, $cols, |a, b| k.mul(a, b), $sink)
+            }
+        }
+    };
+}
+
+/// GEMM for a requantizing layer (conv or hidden dense): accumulators are
+/// rescaled, ReLU-clamped and written as `u8` activation codes.
+pub(crate) fn gemm_requant<K: MulKernel + ?Sized>(
+    backend: MulBackend<'_, K>,
+    w: &QWeights,
+    patch: &[u8],
+    rows: usize,
+    cols: usize,
+    out: &mut [u8],
+) {
+    let m = w
+        .requant
+        .expect("requantizing layers carry a requant scale");
+    let qmax = w.act_qmax;
+    dispatch_gemm!(backend, w, patch, rows, cols, |i, acc: i32| {
+        // Fused ReLU: clamp below at 0 during requantization.
+        out[i] = (acc as f32 * m).round().clamp(0.0, qmax) as u8
+    });
+}
+
+/// GEMM for the final logits layer: accumulators are dequantized to f32.
+pub(crate) fn gemm_logits<K: MulKernel + ?Sized>(
+    backend: MulBackend<'_, K>,
+    w: &QWeights,
+    patch: &[u8],
+    rows: usize,
+    cols: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(w.requant.is_none(), "logits layer does not requantize");
+    dispatch_gemm!(backend, w, patch, rows, cols, |i, acc: i32| {
+        out[i] = acc as f32 * w.dequant
+    });
+}
+
+/// Average pooling with round-to-nearest integer division; the activation
+/// scale is unchanged.
+pub(crate) fn avgpool(x: &[u8], dims: [usize; 3], k: usize, out: &mut [u8]) {
+    let [c, h, w] = dims;
+    debug_assert!(h % k == 0 && w % k == 0, "pool window must tile input");
+    let (oh, ow) = (h / k, w / k);
+    let div = (k * k) as u32;
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: u32 = 0;
+                for dy in 0..k {
+                    let row = (ch * h + oy * k + dy) * w + ox * k;
+                    for dx in 0..k {
+                        acc += x[row + dx] as u32;
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = ((acc + div / 2) / div) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul::{ExactMul, MulLut};
+
+    fn qweights(signs: Vec<i8>, mags: Vec<u8>, bias: Vec<i32>, requant: Option<f32>) -> QWeights {
+        QWeights {
+            sign: signs,
+            mag: mags,
+            bias_q: bias,
+            requant,
+            dequant: 1.0,
+            act_qmax: 255.0,
+        }
+    }
+
+    #[test]
+    fn quantize_input_rounds_and_clamps() {
+        let mut out = [0u8; 4];
+        quantize_input(&[0.0, 0.5, 1.0, 2.0], 255.0, &mut out);
+        assert_eq!(out, [0, 128, 255, 255]);
+    }
+
+    #[test]
+    fn im2col_identity_for_1x1_kernel() {
+        let x: Vec<u8> = (1..=8).collect();
+        let mut out = vec![0u8; 8];
+        im2col(&x, [2, 2, 2], 1, 1, 0, 4, 2, &mut out);
+        // Each patch row holds both channels of one position.
+        assert_eq!(out, vec![1, 5, 2, 6, 3, 7, 4, 8]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let x: Vec<u8> = vec![9; 4]; // [1, 2, 2]
+        let rows = 4; // 3x3 kernel, pad 1, stride 1 on 2x2 -> 2x2 output
+        let cols = 9;
+        let mut out = vec![0xAA; rows * cols];
+        im2col(&x, [1, 2, 2], 3, 1, 1, rows, cols, &mut out);
+        // Top-left patch: only the bottom-right 2x2 of the window is real.
+        assert_eq!(out[..cols], [0, 0, 0, 0, 9, 9, 0, 9, 9]);
+        let total: u32 = out.iter().map(|&v| v as u32).sum();
+        assert_eq!(total, 4 * 4 * 9, "each pixel appears in four patches");
+    }
+
+    #[test]
+    fn gemm_requant_matches_hand_computation() {
+        // One output row, two patches, cols = 2: acc = bias + s0*m0*a0 + s1*m1*a1.
+        let w = qweights(vec![1, -1], vec![3, 2], vec![10], Some(0.5));
+        let patch = [4u8, 5, 0, 7];
+        let mut out = [0u8; 2];
+        gemm_requant(
+            MulBackend::<ExactMul>::of(&ExactMul),
+            &w,
+            &patch,
+            2,
+            2,
+            &mut out,
+        );
+        // p0: 10 + 12 - 10 = 12 -> 6; p1: 10 + 0 - 14 = -4 -> relu 0.
+        assert_eq!(out, [6, 0]);
+    }
+
+    #[test]
+    fn gemm_logits_dequantizes() {
+        let w = qweights(vec![1], vec![2], vec![-1], None);
+        let patch = [10u8];
+        let mut out = [0f32; 1];
+        gemm_logits(
+            MulBackend::<ExactMul>::of(&ExactMul),
+            &w,
+            &patch,
+            1,
+            1,
+            &mut out,
+        );
+        assert_eq!(out, [19.0]);
+    }
+
+    #[test]
+    fn table_and_generic_backends_agree_with_exact() {
+        let lut = MulLut::exact();
+        let w = qweights(
+            vec![1, -1, 1, 1, -1, 1],
+            vec![7, 130, 255, 0, 1, 9],
+            vec![3, -2],
+            Some(0.25),
+        );
+        let patch: Vec<u8> = vec![255, 4, 0, 17, 200, 66];
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut c = [0u8; 4];
+        gemm_requant(
+            MulBackend::<ExactMul>::of(&ExactMul),
+            &w,
+            &patch,
+            2,
+            3,
+            &mut a,
+        );
+        gemm_requant(MulBackend::of(&lut), &w, &patch, 2, 3, &mut b);
+        // Force the generic path for the same LUT.
+        gemm_requant(MulBackend::Generic(&lut), &w, &patch, 2, 3, &mut c);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn avgpool_math_is_rounded_mean() {
+        let x = [10u8, 20, 30, 41];
+        let mut out = [0u8; 1];
+        avgpool(&x, [1, 2, 2], 2, &mut out);
+        // (10+20+30+41+2)/4 = 25.75 -> floor = 25 (round-half-up of 25.25).
+        assert_eq!(out, [25]);
+    }
+}

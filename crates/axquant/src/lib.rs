@@ -14,6 +14,13 @@
 //!   conv/dense MAC routes through a pluggable
 //!   [`MulKernel`](axmul::kernel::MulKernel) — the exact kernel gives the
 //!   quantized accurate DNN, a LUT from `axmul::registry` gives an AxDNN.
+//! * [`plan`] — [`plan::QPlan`]: the compiled execution engine. Shapes
+//!   are resolved once, im2col patch and activation scratch is reused
+//!   across images, and the batch API evaluates `N images x M kernels`
+//!   in one pass, sharing work until the kernels diverge.
+//! * [`exec`] — the hot loops: im2col and the sign/magnitude LUT-GEMM
+//!   that conv and dense layers lower to, monomorphized per
+//!   [`MulBackend`](axmul::kernel::MulBackend).
 //! * [`placement`] — where approximation applies (conv layers only, as in
 //!   the paper, or everywhere).
 //!
@@ -39,12 +46,15 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod exec;
 pub mod placement;
+pub mod plan;
 pub mod qlevel;
 pub mod qmodel;
 pub mod qparams;
 
 pub use placement::Placement;
+pub use plan::{QPlan, QScratch};
 pub use qlevel::QLevel;
 pub use qmodel::QuantModel;
 pub use qparams::QuantParams;

@@ -1,0 +1,655 @@
+//! Compiled execution plans: shape resolution, scratch reuse, and the
+//! batched multi-kernel inference engine.
+//!
+//! A [`QPlan`] is compiled once per `(model, input shape)` pair: every
+//! layer's output geometry, im2col patch size and activation footprint is
+//! resolved up front, so running an image does no shape math and no
+//! allocation — all intermediate state lives in a reusable [`QScratch`].
+//!
+//! The batch entry points run `N images x M kernels` in one pass. Lanes
+//! (one per kernel) share activation state until the first layer where
+//! the victim kernel actually applies, so the input quantization and the
+//! first conv layer's im2col patches — the largest in the network — are
+//! computed once and reused by every kernel. Work is split across threads
+//! in contiguous image chunks ([`axutil::parallel::par_map_chunks`]) with
+//! one scratch per chunk, not per image.
+//!
+//! ```
+//! use axmul::{ExactMul, MulLut};
+//! use axnn::zoo;
+//! use axquant::{Placement, QuantModel};
+//! use axtensor::Tensor;
+//! use axutil::rng::Rng;
+//!
+//! # fn main() -> Result<(), axutil::AxError> {
+//! let model = zoo::lenet5(&mut Rng::seed_from_u64(0));
+//! let calib = vec![Tensor::full(&[1, 28, 28], 0.5)];
+//! let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly)?;
+//!
+//! let plan = qm.plan(&[1, 28, 28]);
+//! let lut = MulLut::exact();
+//! let kernels: [&dyn axmul::MulKernel; 2] = [&ExactMul, &lut];
+//! let images = vec![Tensor::full(&[1, 28, 28], 0.25); 3];
+//! let logits = plan.forward_batch_with(&images, &kernels);
+//! assert_eq!(logits.len(), 3); // one row per image
+//! assert_eq!(logits[0].len(), 2); // one column per kernel
+//! assert_eq!(logits[0][0], logits[0][1]); // both kernels are exact
+//! # Ok(())
+//! # }
+//! ```
+
+use axmul::{MulBackend, MulKernel};
+use axtensor::Tensor;
+use axutil::parallel;
+
+use crate::exec;
+use crate::qmodel::{QLayer, QWeights, QuantModel};
+
+/// One resolved layer of a compiled plan.
+#[derive(Debug)]
+enum Step<'m> {
+    /// im2col + GEMM + requantize.
+    Conv {
+        w: &'m QWeights,
+        approx: bool,
+        in_dims: [usize; 3],
+        k: usize,
+        stride: usize,
+        pad: usize,
+        /// Number of output positions (`oh * ow`) = GEMM rows.
+        rows: usize,
+        /// Patch width (`in_c * k * k`) = GEMM columns.
+        cols: usize,
+        out_len: usize,
+    },
+    /// Single-row GEMM + requantize (hidden dense layer).
+    Dense {
+        w: &'m QWeights,
+        approx: bool,
+        in_dim: usize,
+        out_dim: usize,
+    },
+    /// Single-row GEMM + dequantize (final logits layer).
+    DenseLogits {
+        w: &'m QWeights,
+        approx: bool,
+        in_dim: usize,
+        out_dim: usize,
+    },
+    AvgPool {
+        k: usize,
+        in_dims: [usize; 3],
+        out_len: usize,
+    },
+}
+
+/// A compiled execution plan for one [`QuantModel`] and input shape.
+///
+/// Cheap to build (shape arithmetic only); holds references into the
+/// model's quantized weights. See the [module docs](self) for the
+/// execution model.
+#[derive(Debug)]
+pub struct QPlan<'m> {
+    model: &'m QuantModel,
+    steps: Vec<Step<'m>>,
+    in_len: usize,
+    n_classes: usize,
+    /// Largest activation buffer any step reads or writes.
+    max_act: usize,
+    /// Largest im2col patch buffer any conv step needs.
+    max_patch: usize,
+}
+
+/// Reusable buffers for executing a [`QPlan`].
+///
+/// Holds the im2col patch buffer and, per kernel lane, a ping-pong pair
+/// of activation buffers. Build one per thread with
+/// [`QPlan::scratch_for`] and reuse it across images.
+#[derive(Debug)]
+pub struct QScratch {
+    lanes: usize,
+    patch: Vec<u8>,
+    /// `bufs[side][lane]` — ping-pong activation buffers.
+    bufs: [Vec<Vec<u8>>; 2],
+}
+
+impl QuantModel {
+    /// Compiles an execution plan for images of shape `input_dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dims` does not match the model's expected layout
+    /// (`[C, H, W]` into the first conv, flattened length into the first
+    /// dense layer).
+    pub fn plan(&self, input_dims: &[usize]) -> QPlan<'_> {
+        QPlan::compile(self, input_dims)
+    }
+}
+
+impl<'m> QPlan<'m> {
+    /// Resolves every layer's geometry once. See [`QuantModel::plan`].
+    pub fn compile(model: &'m QuantModel, input_dims: &[usize]) -> Self {
+        let mut dims: Vec<usize> = input_dims.to_vec();
+        let in_len: usize = dims.iter().product();
+        let mut max_act = in_len;
+        let mut max_patch = 0;
+        let mut n_classes = 0;
+        let mut steps = Vec::new();
+        for ql in model.qlayers() {
+            match ql {
+                QLayer::Conv {
+                    w,
+                    out_c,
+                    in_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    let [c, h, wd] = dims[..] else {
+                        panic!("conv input must be [C, H, W], got {dims:?}");
+                    };
+                    assert_eq!(c, *in_c, "conv channel mismatch");
+                    let oh = (h + 2 * pad - k) / stride + 1;
+                    let ow = (wd + 2 * pad - k) / stride + 1;
+                    let (rows, cols) = (oh * ow, in_c * k * k);
+                    steps.push(Step::Conv {
+                        w,
+                        approx: model.placement().applies_to_conv(),
+                        in_dims: [c, h, wd],
+                        k: *k,
+                        stride: *stride,
+                        pad: *pad,
+                        rows,
+                        cols,
+                        out_len: out_c * rows,
+                    });
+                    max_patch = max_patch.max(rows * cols);
+                    dims = vec![*out_c, oh, ow];
+                }
+                QLayer::Dense { w, out_dim, in_dim } => {
+                    let flat: usize = dims.iter().product();
+                    assert_eq!(flat, *in_dim, "dense input size mismatch");
+                    let approx = model.placement().applies_to_dense();
+                    if w.requant.is_some() {
+                        steps.push(Step::Dense {
+                            w,
+                            approx,
+                            in_dim: *in_dim,
+                            out_dim: *out_dim,
+                        });
+                    } else {
+                        steps.push(Step::DenseLogits {
+                            w,
+                            approx,
+                            in_dim: *in_dim,
+                            out_dim: *out_dim,
+                        });
+                        n_classes = *out_dim;
+                    }
+                    dims = vec![*out_dim];
+                }
+                QLayer::AvgPool { k } => {
+                    let [c, h, wd] = dims[..] else {
+                        panic!("pool input must be [C, H, W], got {dims:?}");
+                    };
+                    assert!(h % k == 0 && wd % k == 0, "pool window does not tile input");
+                    let (oh, ow) = (h / k, wd / k);
+                    steps.push(Step::AvgPool {
+                        k: *k,
+                        in_dims: [c, h, wd],
+                        out_len: c * oh * ow,
+                    });
+                    dims = vec![c, oh, ow];
+                }
+                QLayer::Flatten => {
+                    // Buffers are flat already; flatten is shape-only.
+                    dims = vec![dims.iter().product()];
+                }
+            }
+            max_act = max_act.max(dims.iter().product());
+        }
+        debug_assert!(n_classes > 0, "from_float guarantees a final logits layer");
+        QPlan {
+            model,
+            steps,
+            in_len,
+            n_classes,
+            max_act,
+            max_patch,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Allocates scratch buffers able to run up to `lanes` kernels.
+    pub fn scratch_for(&self, lanes: usize) -> QScratch {
+        let lanes = lanes.max(1);
+        QScratch {
+            lanes,
+            patch: vec![0u8; self.max_patch],
+            bufs: [
+                (0..lanes).map(|_| vec![0u8; self.max_act]).collect(),
+                (0..lanes).map(|_| vec![0u8; self.max_act]).collect(),
+            ],
+        }
+    }
+
+    /// Runs one image through one kernel, reusing `scratch`.
+    ///
+    /// Bit-exact with [`QuantModel::forward_with`] (which is a thin
+    /// wrapper over this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the planned input shape or `scratch`
+    /// has no lanes.
+    pub fn forward_one<K: MulKernel + ?Sized>(
+        &self,
+        scratch: &mut QScratch,
+        x: &Tensor,
+        kernel: &K,
+    ) -> Tensor {
+        self.forward_multi(scratch, x, &[kernel])
+            .pop()
+            .expect("one kernel, one logits tensor")
+    }
+
+    /// Runs one image through `M` kernels, sharing activations (and the
+    /// first approximated layer's im2col patches) up to the point where
+    /// the kernels diverge. Returns one logits tensor per kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty, exceeds the scratch lane count, or
+    /// `x` does not match the planned input shape.
+    pub fn forward_multi<K: MulKernel + ?Sized>(
+        &self,
+        scratch: &mut QScratch,
+        x: &Tensor,
+        kernels: &[&K],
+    ) -> Vec<Tensor> {
+        let m = kernels.len();
+        assert!(m >= 1, "need at least one kernel");
+        assert!(
+            m <= scratch.lanes,
+            "scratch has {} lanes, got {m} kernels",
+            scratch.lanes
+        );
+        assert_eq!(x.len(), self.in_len, "input does not match planned shape");
+        let backends: Vec<MulBackend<'_, K>> = kernels.iter().map(|k| MulBackend::of(*k)).collect();
+
+        exec::quantize_input(
+            x.data(),
+            self.model.input_qmax(),
+            &mut scratch.bufs[0][0][..self.in_len],
+        );
+        let mut src = 0usize;
+        // While `shared` only lane 0 holds the (kernel-independent)
+        // activations; after the first approximated layer every lane
+        // carries its own.
+        let mut shared = true;
+        let mut logits: Vec<Tensor> = Vec::with_capacity(m);
+        for step in &self.steps {
+            let approx = match step {
+                Step::Conv { approx, .. } => *approx,
+                Step::Dense { approx, .. } | Step::DenseLogits { approx, .. } => *approx,
+                Step::AvgPool { .. } => false,
+            };
+            let in_lanes = if shared { 1 } else { m };
+            let out_lanes = if approx { m.max(in_lanes) } else { in_lanes };
+            let backend_for = |lane: usize| -> MulBackend<'_, K> {
+                if approx {
+                    backends[lane]
+                } else {
+                    MulBackend::Exact
+                }
+            };
+            let (src_bufs, dst_bufs) = sides(&mut scratch.bufs, src);
+            match *step {
+                Step::Conv {
+                    w,
+                    in_dims,
+                    k,
+                    stride,
+                    pad,
+                    rows,
+                    cols,
+                    out_len,
+                    ..
+                } => {
+                    let in_len = in_dims.iter().product();
+                    if in_lanes == 1 {
+                        // One im2col feeds every kernel lane.
+                        exec::im2col(
+                            &src_bufs[0][..in_len],
+                            in_dims,
+                            k,
+                            stride,
+                            pad,
+                            rows,
+                            cols,
+                            &mut scratch.patch,
+                        );
+                        for (lane, dst) in dst_bufs.iter_mut().enumerate().take(out_lanes) {
+                            exec::gemm_requant(
+                                backend_for(lane),
+                                w,
+                                &scratch.patch,
+                                rows,
+                                cols,
+                                &mut dst[..out_len],
+                            );
+                        }
+                    } else {
+                        for lane in 0..m {
+                            exec::im2col(
+                                &src_bufs[lane][..in_len],
+                                in_dims,
+                                k,
+                                stride,
+                                pad,
+                                rows,
+                                cols,
+                                &mut scratch.patch,
+                            );
+                            exec::gemm_requant(
+                                backend_for(lane),
+                                w,
+                                &scratch.patch,
+                                rows,
+                                cols,
+                                &mut dst_bufs[lane][..out_len],
+                            );
+                        }
+                    }
+                }
+                Step::Dense {
+                    w, in_dim, out_dim, ..
+                } => {
+                    // The activation vector is the single GEMM patch row.
+                    for (lane, dst) in dst_bufs.iter_mut().enumerate().take(out_lanes) {
+                        let src_lane = if in_lanes == 1 { 0 } else { lane };
+                        exec::gemm_requant(
+                            backend_for(lane),
+                            w,
+                            &src_bufs[src_lane][..in_dim],
+                            1,
+                            in_dim,
+                            &mut dst[..out_dim],
+                        );
+                    }
+                }
+                Step::DenseLogits {
+                    w, in_dim, out_dim, ..
+                } => {
+                    for lane in 0..out_lanes {
+                        let src_lane = if in_lanes == 1 { 0 } else { lane };
+                        let mut out = vec![0f32; out_dim];
+                        exec::gemm_logits(
+                            backend_for(lane),
+                            w,
+                            &src_bufs[src_lane][..in_dim],
+                            1,
+                            in_dim,
+                            &mut out,
+                        );
+                        logits.push(Tensor::from_vec(out, &[out_dim]));
+                    }
+                }
+                Step::AvgPool {
+                    k,
+                    in_dims,
+                    out_len,
+                } => {
+                    let in_len = in_dims.iter().product();
+                    for lane in 0..in_lanes {
+                        exec::avgpool(
+                            &src_bufs[lane][..in_len],
+                            in_dims,
+                            k,
+                            &mut dst_bufs[lane][..out_len],
+                        );
+                    }
+                }
+            }
+            shared = shared && out_lanes == 1;
+            src = 1 - src;
+        }
+        // A fully exact pipeline (e.g. conv-only placement on a dense
+        // net) never diverges: every kernel sees identical logits.
+        while logits.len() < m {
+            let first = logits[0].clone();
+            logits.push(first);
+        }
+        logits
+    }
+
+    /// Runs `N` images through `M` kernels in parallel image chunks with
+    /// one scratch per chunk. Returns `[image][kernel]` logits.
+    pub fn forward_batch_with<K: MulKernel + ?Sized>(
+        &self,
+        images: &[Tensor],
+        kernels: &[&K],
+    ) -> Vec<Vec<Tensor>> {
+        self.forward_batch_indexed(images.len(), |i| &images[i], kernels)
+    }
+
+    /// [`QPlan::forward_batch_with`] over any indexable image source —
+    /// lets callers batch over borrowed or interleaved storage (e.g.
+    /// `(Tensor, label)` pairs) without cloning.
+    pub fn forward_batch_indexed<'a, K, F>(
+        &self,
+        n: usize,
+        image: F,
+        kernels: &[&K],
+    ) -> Vec<Vec<Tensor>>
+    where
+        K: MulKernel + ?Sized,
+        F: Fn(usize) -> &'a Tensor + Sync,
+    {
+        assert!(!kernels.is_empty(), "need at least one kernel");
+        parallel::par_map_chunks(n, |range| {
+            let mut scratch = self.scratch_for(kernels.len());
+            range
+                .map(|i| self.forward_multi(&mut scratch, image(i), kernels))
+                .collect()
+        })
+    }
+
+    /// Predicted classes for `N` images under `M` kernels:
+    /// `[image][kernel]`.
+    pub fn predict_batch_with<K: MulKernel + ?Sized>(
+        &self,
+        images: &[Tensor],
+        kernels: &[&K],
+    ) -> Vec<Vec<usize>> {
+        self.predict_batch_indexed(images.len(), |i| &images[i], kernels)
+    }
+
+    /// [`QPlan::predict_batch_with`] over any indexable image source.
+    pub fn predict_batch_indexed<'a, K, F>(
+        &self,
+        n: usize,
+        image: F,
+        kernels: &[&K],
+    ) -> Vec<Vec<usize>>
+    where
+        K: MulKernel + ?Sized,
+        F: Fn(usize) -> &'a Tensor + Sync,
+    {
+        assert!(!kernels.is_empty(), "need at least one kernel");
+        parallel::par_map_chunks(n, |range| {
+            let mut scratch = self.scratch_for(kernels.len());
+            range
+                .map(|i| {
+                    self.forward_multi(&mut scratch, image(i), kernels)
+                        .iter()
+                        .map(Tensor::argmax)
+                        .collect()
+                })
+                .collect()
+        })
+    }
+}
+
+/// Splits the ping-pong pair into (read side, write side) for `src`.
+fn sides(bufs: &mut [Vec<Vec<u8>>; 2], src: usize) -> (&Vec<Vec<u8>>, &mut Vec<Vec<u8>>) {
+    let (lo, hi) = bufs.split_at_mut(1);
+    if src == 0 {
+        (&lo[0], &mut hi[0])
+    } else {
+        (&hi[0], &mut lo[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use crate::qlevel::QLevel;
+    use axmul::{ExactMul, MulLut, Registry};
+    use axnn::zoo;
+    use axutil::rng::Rng;
+
+    fn calib_images(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut t = Tensor::zeros(dims);
+                rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_lut_is_bit_identical_to_builtin_mul() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(7));
+        let calib = calib_images(4, &[1, 28, 28], 8);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let lut = MulLut::exact();
+        for img in calib_images(4, &[1, 28, 28], 9) {
+            assert_eq!(
+                qm.forward_with(&img, &ExactMul),
+                qm.forward_with(&img, &lut)
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_kernel_changes_logits() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(10));
+        let calib = calib_images(4, &[1, 28, 28], 11);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let approx = Registry::standard().build_lut("L40").unwrap();
+        let img = &calib[0];
+        assert_ne!(
+            qm.forward_with(img, &ExactMul),
+            qm.forward_with(img, &approx)
+        );
+    }
+
+    #[test]
+    fn conv_only_placement_ignores_kernel_in_dense_net() {
+        // The FFNN has no conv layer, so with ConvOnly placement an
+        // approximate kernel must change nothing.
+        let model = zoo::ffnn(&mut Rng::seed_from_u64(12));
+        let calib = calib_images(4, &[1, 28, 28], 13);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let approx = Registry::standard().build_lut("L40").unwrap();
+        let img = &calib[0];
+        assert_eq!(
+            qm.forward_with(img, &ExactMul),
+            qm.forward_with(img, &approx)
+        );
+        // With Placement::All it must matter.
+        let qm_all = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
+        assert_ne!(
+            qm_all.forward_with(img, &ExactMul),
+            qm_all.forward_with(img, &approx)
+        );
+    }
+
+    #[test]
+    fn batch_multi_kernel_matches_per_image_passes() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(30));
+        let calib = calib_images(4, &[1, 28, 28], 31);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let exact_lut = MulLut::exact();
+        let approx = Registry::standard().build_lut("L40").unwrap();
+        let kernels = [&exact_lut, &approx];
+        let images = calib_images(5, &[1, 28, 28], 32);
+
+        let plan = qm.plan(&[1, 28, 28]);
+        let batch = plan.forward_batch_with(&images, &kernels);
+        assert_eq!(batch.len(), 5);
+        for (img, row) in images.iter().zip(&batch) {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[0], qm.forward_with(img, &exact_lut));
+            assert_eq!(row[1], qm.forward_with(img, &approx));
+        }
+
+        let preds = plan.predict_batch_with(&images, &kernels);
+        for (row, lrow) in preds.iter().zip(&batch) {
+            assert_eq!(row[0], lrow[0].argmax());
+            assert_eq!(row[1], lrow[1].argmax());
+        }
+    }
+
+    #[test]
+    fn undiverged_batch_clones_shared_logits() {
+        // ConvOnly placement on a conv-free net: all lanes stay shared.
+        let model = zoo::ffnn(&mut Rng::seed_from_u64(33));
+        let calib = calib_images(4, &[1, 28, 28], 34);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let a = Registry::standard().build_lut("L40").unwrap();
+        let b = Registry::standard().build_lut("17KS").unwrap();
+        let plan = qm.plan(&[1, 28, 28]);
+        let out = plan.forward_batch_with(&calib[..2], &[&a, &b]);
+        for row in &out {
+            assert_eq!(row[0], row[1], "exact pipeline ignores both kernels");
+        }
+    }
+
+    #[test]
+    fn avgpool_topology_runs_through_plan() {
+        let model = zoo::alexnet_mini(&mut Rng::seed_from_u64(16));
+        let calib = calib_images(2, &[3, 32, 32], 17);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let logits = qm.forward_with(&calib[0], &ExactMul);
+        assert_eq!(logits.len(), 10);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic_across_levels() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(40));
+        let calib = calib_images(3, &[1, 28, 28], 41);
+        for level in [QLevel::INT8, QLevel::new(4, 4), QLevel::new(8, 3)] {
+            let qm = QuantModel::from_float_with_level(&model, &calib, Placement::ConvOnly, level)
+                .unwrap();
+            let plan = qm.plan(&[1, 28, 28]);
+            let mut scratch = plan.scratch_for(1);
+            let lut = MulLut::exact();
+            let first = plan.forward_one(&mut scratch, &calib[0], &lut);
+            let other = plan.forward_one(&mut scratch, &calib[1], &lut);
+            let again = plan.forward_one(&mut scratch, &calib[0], &lut);
+            assert_eq!(first, again, "scratch reuse must not leak state");
+            assert_ne!(first, other);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "planned shape")]
+    fn wrong_input_shape_is_rejected() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(50));
+        let calib = calib_images(2, &[1, 28, 28], 51);
+        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
+        let plan = qm.plan(&[1, 28, 28]);
+        let mut scratch = plan.scratch_for(1);
+        let _ = plan.forward_one(&mut scratch, &Tensor::zeros(&[1, 8, 8]), &ExactMul);
+    }
+}

@@ -1,12 +1,18 @@
-//! The int8 inference engine with pluggable multipliers.
+//! Quantization and the public int8-model API.
+//!
+//! [`QuantModel`] mirrors a float [`Sequential`] in 8-bit fixed point:
+//! [`QuantModel::from_float`] calibrates and quantizes, and the inference
+//! entry points ([`QuantModel::forward_with`] and friends) are thin
+//! wrappers over the compiled execution engine in [`crate::plan`] /
+//! [`crate::exec`].
 
 use axdata::Dataset;
-use axmul::kernel::{ExactMul, MulKernel};
+use axmul::kernel::MulKernel;
 use axnn::layer::Layer;
 use axnn::model::Sequential;
 use axtensor::stats::MaxAbs;
 use axtensor::Tensor;
-use axutil::{parallel, AxError};
+use axutil::AxError;
 
 use crate::placement::Placement;
 use crate::qlevel::QLevel;
@@ -16,17 +22,17 @@ use crate::qlevel::QLevel;
 /// paper's configuration ("state-of-the-art *unsigned* approximate
 /// multipliers").
 #[derive(Debug, Clone, PartialEq)]
-struct QWeights {
-    sign: Vec<i8>, // +1 or -1
-    mag: Vec<u8>,  // |w| quantized, <= 127
-    bias_q: Vec<i32>,
+pub(crate) struct QWeights {
+    pub(crate) sign: Vec<i8>, // +1 or -1
+    pub(crate) mag: Vec<u8>,  // |w| quantized, <= 127
+    pub(crate) bias_q: Vec<i32>,
     /// requant multiplier `s_w * s_in / s_out`; `None` for the final layer
     /// (output dequantized to f32 instead).
-    requant: Option<f32>,
+    pub(crate) requant: Option<f32>,
     /// dequantization scale `s_w * s_in` for the final layer.
-    dequant: f32,
+    pub(crate) dequant: f32,
     /// largest activation code of the output (`2^a - 1` as f32).
-    act_qmax: f32,
+    pub(crate) act_qmax: f32,
 }
 
 impl QWeights {
@@ -64,7 +70,7 @@ impl QWeights {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum QLayer {
+pub(crate) enum QLayer {
     Conv {
         w: QWeights,
         out_c: usize,
@@ -84,18 +90,15 @@ enum QLayer {
     Flatten,
 }
 
-/// A u8 activation map flowing between quantized layers.
-#[derive(Debug, Clone)]
-struct QAct {
-    data: Vec<u8>,
-    dims: Vec<usize>,
-}
-
 /// An 8-bit fixed-point mirror of a float [`Sequential`].
 ///
 /// Built once from the float model plus a calibration set; evaluated with
 /// any [`MulKernel`]. The same `QuantModel` therefore serves as the
 /// quantized accurate DNN (exact kernel) and as every AxDNN (LUT kernels).
+///
+/// Inference runs through a compiled [`QPlan`](crate::plan::QPlan); for
+/// repeated or multi-kernel evaluation build the plan once with
+/// [`QuantModel::plan`] and use its batch API.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantModel {
     name: String,
@@ -264,73 +267,49 @@ impl QuantModel {
         self.placement
     }
 
+    /// The quantized layer stack (consumed by the plan compiler).
+    pub(crate) fn qlayers(&self) -> &[QLayer] {
+        &self.qlayers
+    }
+
+    /// Largest input activation code, as f32.
+    pub(crate) fn input_qmax(&self) -> f32 {
+        self.input_qmax
+    }
+
     /// Runs quantized inference with the given multiplier kernel and
     /// returns float logits.
+    ///
+    /// Compiles a fresh [`QPlan`](crate::plan::QPlan) per call; for hot
+    /// paths build the plan once and reuse it (and its scratch) instead.
     ///
     /// # Panics
     ///
     /// Panics if `x` does not match the expected input layout.
     pub fn forward_with<K: MulKernel + ?Sized>(&self, x: &Tensor, kernel: &K) -> Tensor {
-        let qmax = self.input_qmax;
-        let mut act = QAct {
-            data: x
-                .data()
-                .iter()
-                .map(|&v| (v * qmax).round().clamp(0.0, qmax) as u8)
-                .collect(),
-            dims: x.dims().to_vec(),
-        };
-        let exact = ExactMul;
-        for (li, ql) in self.qlayers.iter().enumerate() {
-            match ql {
-                QLayer::Conv {
-                    w,
-                    out_c,
-                    in_c,
-                    k,
-                    stride,
-                    pad,
-                } => {
-                    act = if self.placement.applies_to_conv() {
-                        conv_forward(&act, w, *out_c, *in_c, *k, *stride, *pad, kernel)
-                    } else {
-                        conv_forward(&act, w, *out_c, *in_c, *k, *stride, *pad, &exact)
-                    };
-                }
-                QLayer::Dense { w, out_dim, in_dim } => {
-                    let use_approx = self.placement.applies_to_dense();
-                    if w.requant.is_some() {
-                        act = if use_approx {
-                            dense_forward(&act, w, *out_dim, *in_dim, kernel)
-                        } else {
-                            dense_forward(&act, w, *out_dim, *in_dim, &exact)
-                        };
-                    } else {
-                        // Final logits layer.
-                        debug_assert_eq!(li, self.qlayers.len() - 1);
-                        return if use_approx {
-                            dense_logits(&act, w, *out_dim, *in_dim, kernel)
-                        } else {
-                            dense_logits(&act, w, *out_dim, *in_dim, &exact)
-                        };
-                    }
-                }
-                QLayer::AvgPool { k } => act = avgpool_forward(&act, *k),
-                QLayer::Flatten => {
-                    let n = act.data.len();
-                    act.dims = vec![n];
-                }
-            }
-        }
-        unreachable!("final dense layer returns early");
+        let plan = self.plan(x.dims());
+        let mut scratch = plan.scratch_for(1);
+        plan.forward_one(&mut scratch, x, kernel)
     }
 
     /// Predicted class under the given kernel.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QuantModel::forward_with`].
     pub fn predict_with<K: MulKernel + ?Sized>(&self, x: &Tensor, kernel: &K) -> usize {
         self.forward_with(x, kernel).argmax()
     }
 
-    /// Accuracy over (up to `max_n` examples of) a dataset, in parallel.
+    /// Accuracy over (up to `max_n` examples of) a dataset, evaluated by
+    /// the batched engine in parallel image chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluated sample is empty (`data` has no examples or
+    /// `max_n == 0`) — an empty sample has no meaningful accuracy, and
+    /// silently returning `0.0` used to masquerade as "every prediction
+    /// wrong".
     pub fn accuracy_with<K: MulKernel + ?Sized>(
         &self,
         data: &Dataset,
@@ -338,340 +317,18 @@ impl QuantModel {
         max_n: usize,
     ) -> f32 {
         let n = data.len().min(max_n);
-        if n == 0 {
-            return 0.0;
-        }
-        let correct = parallel::par_reduce(
-            n,
-            || 0usize,
-            |acc, i| acc + usize::from(self.predict_with(data.image(i), kernel) == data.label(i)),
-            |a, b| a + b,
-        );
-        correct as f32 / n as f32
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn conv_forward<K: MulKernel + ?Sized>(
-    x: &QAct,
-    w: &QWeights,
-    out_c: usize,
-    in_c: usize,
-    k: usize,
-    stride: usize,
-    pad: usize,
-    kernel: &K,
-) -> QAct {
-    let [ic, h, wd] = x.dims[..] else {
-        panic!("conv input must be [C, H, W]");
-    };
-    assert_eq!(ic, in_c, "conv channel mismatch");
-    let oh = (h + 2 * pad - k) / stride + 1;
-    let ow = (wd + 2 * pad - k) / stride + 1;
-    let m = w.requant.expect("conv layers always requantize");
-    let mut out = vec![0u8; out_c * oh * ow];
-    let (s, p) = (stride as isize, pad as isize);
-    for o in 0..out_c {
-        let w_base = o * in_c * k * k;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc: i32 = w.bias_q[o];
-                for c in 0..in_c {
-                    let x_base = c * h * wd;
-                    let wc_base = w_base + c * k * k;
-                    for ky in 0..k {
-                        let iy = oy as isize * s + ky as isize - p;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let x_row = x_base + iy as usize * wd;
-                        let w_row = wc_base + ky * k;
-                        for kx in 0..k {
-                            let ix = ox as isize * s + kx as isize - p;
-                            if ix < 0 || ix >= wd as isize {
-                                continue;
-                            }
-                            let wi = w_row + kx;
-                            let a = x.data[x_row + ix as usize];
-                            let prod = kernel.mul(w.mag[wi], a) as i32;
-                            acc += w.sign[wi] as i32 * prod;
-                        }
-                    }
-                }
-                // Fused ReLU: clamp below at 0 during requantization.
-                out[(o * oh + oy) * ow + ox] =
-                    (acc as f32 * m).round().clamp(0.0, w.act_qmax) as u8;
-            }
-        }
-    }
-    QAct {
-        data: out,
-        dims: vec![out_c, oh, ow],
-    }
-}
-
-fn dense_forward<K: MulKernel + ?Sized>(
-    x: &QAct,
-    w: &QWeights,
-    out_dim: usize,
-    in_dim: usize,
-    kernel: &K,
-) -> QAct {
-    assert_eq!(x.data.len(), in_dim, "dense input size mismatch");
-    let m = w.requant.expect("non-final dense requantizes");
-    let mut out = vec![0u8; out_dim];
-    for (o, ov) in out.iter_mut().enumerate() {
-        let acc = dense_acc(x, w, o, in_dim, kernel);
-        *ov = (acc as f32 * m).round().clamp(0.0, w.act_qmax) as u8;
-    }
-    QAct {
-        data: out,
-        dims: vec![out_dim],
-    }
-}
-
-fn dense_logits<K: MulKernel + ?Sized>(
-    x: &QAct,
-    w: &QWeights,
-    out_dim: usize,
-    in_dim: usize,
-    kernel: &K,
-) -> Tensor {
-    assert_eq!(x.data.len(), in_dim, "dense input size mismatch");
-    let mut out = vec![0f32; out_dim];
-    for (o, ov) in out.iter_mut().enumerate() {
-        let acc = dense_acc(x, w, o, in_dim, kernel);
-        *ov = acc as f32 * w.dequant;
-    }
-    Tensor::from_vec(out, &[out_dim])
-}
-
-#[inline]
-fn dense_acc<K: MulKernel + ?Sized>(
-    x: &QAct,
-    w: &QWeights,
-    o: usize,
-    in_dim: usize,
-    kernel: &K,
-) -> i32 {
-    let mut acc: i32 = w.bias_q[o];
-    let row = o * in_dim;
-    for (i, &a) in x.data.iter().enumerate() {
-        let wi = row + i;
-        let prod = kernel.mul(w.mag[wi], a) as i32;
-        acc += w.sign[wi] as i32 * prod;
-    }
-    acc
-}
-
-fn avgpool_forward(x: &QAct, k: usize) -> QAct {
-    let [c, h, w] = x.dims[..] else {
-        panic!("pool input must be [C, H, W]");
-    };
-    assert!(h % k == 0 && w % k == 0, "pool window does not tile input");
-    let (oh, ow) = (h / k, w / k);
-    let div = (k * k) as u32;
-    let mut out = vec![0u8; c * oh * ow];
-    for ch in 0..c {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc: u32 = 0;
-                for dy in 0..k {
-                    let row = (ch * h + oy * k + dy) * w + ox * k;
-                    for dx in 0..k {
-                        acc += x.data[row + dx] as u32;
-                    }
-                }
-                // Round-to-nearest integer average; scale is unchanged.
-                out[(ch * oh + oy) * ow + ox] = ((acc + div / 2) / div) as u8;
-            }
-        }
-    }
-    QAct {
-        data: out,
-        dims: vec![c, oh, ow],
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use axnn::layer::{Conv2d, Dense};
-    use axnn::zoo;
-    use axutil::rng::Rng;
-
-    fn calib_images(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
-        let mut rng = Rng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| {
-                let mut t = Tensor::zeros(dims);
-                rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
-                t
-            })
-            .collect()
-    }
-
-    #[test]
-    fn final_dense_only_model_matches_float_logits() {
-        // flatten -> dense(4 -> 3): quantized logits must approximate the
-        // float logits to within a few LSBs of the involved scales.
-        let mut rng = Rng::seed_from_u64(1);
-        let model = Sequential::new(
-            "lin",
-            vec![Layer::Flatten, Layer::Dense(Dense::new(4, 3, &mut rng))],
-        );
-        let calib = calib_images(8, &[1, 2, 2], 2);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        for img in calib_images(5, &[1, 2, 2], 3) {
-            let fl = model.forward(&img);
-            let ql = qm.forward_with(&img, &ExactMul);
-            for (a, b) in fl.data().iter().zip(ql.data()) {
-                assert!((a - b).abs() < 0.05, "float {a} vs quant {b}");
-            }
-        }
-    }
-
-    #[test]
-    fn lenet_quantization_preserves_predictions_mostly() {
-        let model = zoo::lenet5(&mut Rng::seed_from_u64(4));
-        let calib = calib_images(6, &[1, 28, 28], 5);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        let mut agree = 0;
-        let probes = calib_images(10, &[1, 28, 28], 6);
-        for img in &probes {
-            if model.predict(img) == qm.predict_with(img, &ExactMul) {
-                agree += 1;
-            }
-        }
-        // Untrained logits are small; quantization noise may flip a few.
-        assert!(agree >= 6, "only {agree}/10 predictions agree");
-    }
-
-    #[test]
-    fn exact_lut_is_bit_identical_to_builtin_mul() {
-        let model = zoo::lenet5(&mut Rng::seed_from_u64(7));
-        let calib = calib_images(4, &[1, 28, 28], 8);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        let lut = axmul::MulLut::exact();
-        for img in calib_images(4, &[1, 28, 28], 9) {
-            assert_eq!(
-                qm.forward_with(&img, &ExactMul),
-                qm.forward_with(&img, &lut)
-            );
-        }
-    }
-
-    #[test]
-    fn approximate_kernel_changes_logits() {
-        let model = zoo::lenet5(&mut Rng::seed_from_u64(10));
-        let calib = calib_images(4, &[1, 28, 28], 11);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        let approx = axmul::Registry::standard().build_lut("L40").unwrap();
-        let img = &calib[0];
-        assert_ne!(
-            qm.forward_with(img, &ExactMul),
-            qm.forward_with(img, &approx)
-        );
-    }
-
-    #[test]
-    fn conv_only_placement_ignores_kernel_in_dense_net() {
-        // The FFNN has no conv layer, so with ConvOnly placement an
-        // approximate kernel must change nothing.
-        let model = zoo::ffnn(&mut Rng::seed_from_u64(12));
-        let calib = calib_images(4, &[1, 28, 28], 13);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        let approx = axmul::Registry::standard().build_lut("L40").unwrap();
-        let img = &calib[0];
-        assert_eq!(
-            qm.forward_with(img, &ExactMul),
-            qm.forward_with(img, &approx)
-        );
-        // With Placement::All it must matter.
-        let qm_all = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
-        assert_ne!(
-            qm_all.forward_with(img, &ExactMul),
-            qm_all.forward_with(img, &approx)
-        );
-    }
-
-    #[test]
-    fn unsupported_topologies_are_rejected() {
-        let mut rng = Rng::seed_from_u64(14);
-        // Conv not followed by relu.
-        let bad1 = Sequential::new(
-            "bad1",
-            vec![
-                Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, &mut rng)),
-                Layer::Flatten,
-                Layer::Dense(Dense::new(2 * 4 * 4, 2, &mut rng)),
-            ],
-        );
-        let calib = calib_images(2, &[1, 4, 4], 15);
-        assert!(QuantModel::from_float(&bad1, &calib, Placement::ConvOnly).is_err());
-        // Network not ending in dense.
-        let bad2 = Sequential::new("bad2", vec![Layer::Flatten]);
-        assert!(QuantModel::from_float(&bad2, &calib, Placement::ConvOnly).is_err());
-        // Empty calibration set.
-        let ok_model = Sequential::new(
-            "ok",
-            vec![Layer::Flatten, Layer::Dense(Dense::new(16, 2, &mut rng))],
-        );
-        assert!(QuantModel::from_float(&ok_model, &[], Placement::ConvOnly).is_err());
-    }
-
-    #[test]
-    fn lower_qlevel_degrades_gracefully() {
-        use crate::qlevel::QLevel;
-        let model = zoo::lenet5(&mut Rng::seed_from_u64(20));
-        let calib = calib_images(4, &[1, 28, 28], 21);
-        let q8 =
-            QuantModel::from_float_with_level(&model, &calib, Placement::ConvOnly, QLevel::INT8)
-                .unwrap();
-        let q4 = QuantModel::from_float_with_level(
-            &model,
-            &calib,
-            Placement::ConvOnly,
-            QLevel::new(4, 4),
-        )
-        .unwrap();
-        assert_eq!(q8.level(), QLevel::INT8);
-        assert_eq!(q4.level().to_string(), "w4a4");
-        let img = &calib[0];
-        let l8 = q8.forward_with(img, &ExactMul);
-        let l4 = q4.forward_with(img, &ExactMul);
-        assert!(l4.data().iter().all(|v| v.is_finite()));
-        // 4-bit logits differ from 8-bit logits (coarser codes).
-        assert_ne!(l8, l4);
-        // And the float reference is closer to 8-bit than to 4-bit.
-        let fl = model.forward(img);
-        let d8 = fl.l2_dist(&l8);
-        let d4 = fl.l2_dist(&l4);
         assert!(
-            d8 <= d4,
-            "w8a8 should track float at least as well: {d8} vs {d4}"
+            n > 0,
+            "accuracy_with needs a non-empty sample (dataset len {}, max_n {max_n})",
+            data.len()
         );
-    }
-
-    #[test]
-    fn avgpool_math_is_rounded_mean() {
-        let x = QAct {
-            data: vec![10, 20, 30, 41],
-            dims: vec![1, 2, 2],
-        };
-        let y = avgpool_forward(&x, 2);
-        // (10+20+30+41+2)/4 = 25.75 -> 25 (integer round-half-up of 25.25? 101/4 = 25.25 -> 25)
-        assert_eq!(y.data, vec![25]);
-        assert_eq!(y.dims, vec![1, 1, 1]);
-    }
-
-    #[test]
-    fn lenet_topology_quantizes_with_pools() {
-        let model = zoo::alexnet_mini(&mut Rng::seed_from_u64(16));
-        let calib = calib_images(2, &[3, 32, 32], 17);
-        let qm = QuantModel::from_float(&model, &calib, Placement::ConvOnly).unwrap();
-        let logits = qm.forward_with(&calib[0], &ExactMul);
-        assert_eq!(logits.len(), 10);
-        assert!(logits.data().iter().all(|v| v.is_finite()));
+        let plan = self.plan(data.image(0).dims());
+        let preds = plan.predict_batch_indexed(n, |i| data.image(i), &[kernel]);
+        let correct = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p[0] == data.label(*i))
+            .count();
+        correct as f32 / n as f32
     }
 }

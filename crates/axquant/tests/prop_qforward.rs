@@ -1,0 +1,149 @@
+//! Property tests pinning the batched plan engine to the per-image path.
+//!
+//! The batch API must be a pure performance optimization: for any model,
+//! placement and quantization level, `forward_batch_with` over N images
+//! and M kernels must be *bit-exact* with N×M independent
+//! `forward_with` calls, and the exact LUT must be bit-exact with the
+//! builtin exact multiplier through the GEMM path.
+
+use axmul::{ExactMul, MulLut};
+use axnn::layer::{AvgPool2d, Conv2d, Dense, Layer};
+use axnn::model::Sequential;
+use axquant::{Placement, QLevel, QuantModel};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use proptest::prelude::*;
+
+const IN_DIMS: [usize; 3] = [1, 6, 6];
+
+/// A small random model of one of three shapes that together cover every
+/// engine path: dense-only, conv without padding, conv+pad+avgpool.
+fn small_model(arch: usize, seed: u64) -> Sequential {
+    let rng = &mut Rng::seed_from_u64(seed);
+    match arch % 3 {
+        0 => Sequential::new(
+            "p-ffnn",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(36, 8, rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(8, 4, rng)),
+            ],
+        ),
+        1 => Sequential::new(
+            "p-conv",
+            vec![
+                Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 0, rng)),
+                Layer::Relu,
+                Layer::Flatten,
+                Layer::Dense(Dense::new(2 * 4 * 4, 4, rng)),
+            ],
+        ),
+        _ => Sequential::new(
+            "p-convpool",
+            vec![
+                Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, rng)),
+                Layer::Relu,
+                Layer::AvgPool(AvgPool2d::new(2)),
+                Layer::Flatten,
+                Layer::Dense(Dense::new(2 * 3 * 3, 4, rng)),
+            ],
+        ),
+    }
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = Tensor::zeros(&IN_DIMS);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect()
+}
+
+/// An approximate kernel with structure the engine must not assume away:
+/// asymmetric and biased, including `mul(w, 0) != 0`.
+fn biased_lut() -> MulLut {
+    MulLut::from_fn("biased", |a, b| {
+        ((a as u16).wrapping_mul(b as u16) & !0x7).wrapping_add((a as u16) & 3)
+    })
+}
+
+/// Checks batch-vs-scalar bit-exactness and exact-LUT == builtin for one
+/// quantized model. Returns an error message on the first mismatch.
+fn check_engine(qm: &QuantModel, probes: &[Tensor]) -> Result<(), String> {
+    let exact_lut = MulLut::exact();
+    let approx = biased_lut();
+    let kernels = [&exact_lut, &approx];
+    let plan = qm.plan(&IN_DIMS);
+    let batch = plan.forward_batch_with(probes, &kernels);
+    for (img, row) in probes.iter().zip(&batch) {
+        let scalar_exact = qm.forward_with(img, &exact_lut);
+        let scalar_approx = qm.forward_with(img, &approx);
+        if row[0] != scalar_exact {
+            return Err(format!(
+                "batch exact-LUT lane != per-image forward_with for {}",
+                qm.name()
+            ));
+        }
+        if row[1] != scalar_approx {
+            return Err(format!(
+                "batch approx lane != per-image forward_with for {}",
+                qm.name()
+            ));
+        }
+        // The exact LUT must be indistinguishable from the builtin
+        // multiply through the whole GEMM path.
+        if scalar_exact != qm.forward_with(img, &ExactMul) {
+            return Err(format!("exact LUT != ExactMul for {}", qm.name()));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn batch_engine_is_bit_exact_on_random_models(
+        seed in proptest::strategy::any::<u64>(),
+        arch in 0usize..3,
+        wbits in 2u8..=8,
+        abits in 2u8..=8,
+    ) {
+        let model = small_model(arch, seed);
+        let calib = images(4, seed ^ 0xCA11B);
+        let probes = images(3, seed ^ 0x9A0BE5);
+        let level = QLevel::new(wbits, abits);
+        for placement in [Placement::ConvOnly, Placement::All] {
+            let qm = QuantModel::from_float_with_level(&model, &calib, placement, level)
+                .expect("supported topology");
+            if let Err(msg) = check_engine(&qm, &probes) {
+                prop_assert!(false, "{msg} (placement {placement}, level {level})");
+            }
+        }
+    }
+}
+
+/// The full `Placement` × `QLevel` lattice, deterministically: all 49
+/// weight/activation bit-width pairs under both placements on the model
+/// shape that exercises conv, padding, pooling and dense layers.
+#[test]
+fn batch_engine_is_bit_exact_on_every_placement_and_qlevel() {
+    let model = small_model(2, 77);
+    let calib = images(4, 78);
+    let probes = images(2, 79);
+    for wbits in 2..=8u8 {
+        for abits in 2..=8u8 {
+            let level = QLevel::new(wbits, abits);
+            for placement in [Placement::ConvOnly, Placement::All] {
+                let qm = QuantModel::from_float_with_level(&model, &calib, placement, level)
+                    .expect("supported topology");
+                if let Err(msg) = check_engine(&qm, &probes) {
+                    panic!("{msg} (placement {placement}, level {level})");
+                }
+            }
+        }
+    }
+}

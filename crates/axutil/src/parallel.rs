@@ -40,24 +40,65 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_chunks(n, |range| range.map(&f).collect())
+}
+
+/// Maps `f` over contiguous index chunks of `0..n` in parallel and
+/// concatenates the per-chunk results in index order.
+///
+/// Unlike [`par_map`], which calls `f` once per index, each worker calls
+/// `f` exactly once with its whole `Range` — so per-chunk setup (scratch
+/// buffers, plan state) is amortized over the chunk instead of paid per
+/// item. `f` must return exactly `range.len()` results; the batched
+/// inference engine relies on this for ordered output.
+///
+/// # Panics
+///
+/// Panics if `f` returns a different number of results than its range
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// let squares = axutil::parallel::par_map_chunks(8, |range| {
+///     range.map(|i| i * i).collect()
+/// });
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map_chunks<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
     let workers = num_threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let out = f(0..n);
+        assert_eq!(out.len(), n, "chunk fn must return range.len() results");
+        return out;
     }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Option<Vec<T>>> = (0..workers).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (w, slot) in out.chunks_mut(chunk).enumerate() {
+        for (w, slot) in parts.iter_mut().enumerate() {
             let f = &f;
             scope.spawn(move || {
-                let base = w * chunk;
-                for (i, s) in slot.iter_mut().enumerate() {
-                    *s = Some(f(base + i));
-                }
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                let out = f(lo..hi);
+                assert_eq!(
+                    out.len(),
+                    hi - lo,
+                    "chunk fn must return range.len() results"
+                );
+                *slot = Some(out);
             });
         }
     });
-    out.into_iter().map(|s| s.expect("slot filled")).collect()
+    let mut out = Vec::with_capacity(n);
+    for part in parts.into_iter().flatten() {
+        out.extend(part);
+    }
+    out
 }
 
 /// Splits `items` into `num_threads()` contiguous chunks and runs `f` on
@@ -156,6 +197,34 @@ mod tests {
     fn par_map_empty_and_single() {
         assert!(par_map(0, |i| i).is_empty());
         assert_eq!(par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_map_chunks_matches_serial() {
+        let par = par_map_chunks(1003, |range| range.map(|i| i * 7 + 2).collect());
+        let ser: Vec<_> = (0..1003).map(|i| i * 7 + 2).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_map_chunks_empty_and_single() {
+        assert!(par_map_chunks(0, |r| r.collect::<Vec<_>>()).is_empty());
+        assert_eq!(par_map_chunks(1, |r| r.map(|i| i + 9).collect()), vec![9]);
+    }
+
+    #[test]
+    fn par_map_chunks_amortizes_setup_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let setups = AtomicUsize::new(0);
+        let out = par_map_chunks(64, |range| {
+            setups.fetch_add(1, Ordering::Relaxed); // one "scratch alloc" per chunk
+            range.collect()
+        });
+        assert_eq!(out.len(), 64);
+        assert!(
+            setups.load(Ordering::Relaxed) <= num_threads(),
+            "each worker chunk sets up at most once"
+        );
     }
 
     #[test]

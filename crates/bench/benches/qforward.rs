@@ -1,0 +1,79 @@
+//! Scalar vs batched quantized inference on a LeNet-sized model.
+//!
+//! The figure sweeps evaluate ~M multiplier victims on the same crafted
+//! image set. `scalar` runs M x N independent `forward_with` passes (one
+//! plan compile + scratch allocation each, nothing shared); `batched
+//! serial` runs the same work through one compiled plan and one reused
+//! scratch, sharing input quantization and first-layer im2col across the
+//! kernels; `batched parallel` additionally splits images across threads
+//! in chunks. Both exact and LUT kernel columns are exercised.
+
+use axmul::{MulLut, Registry};
+use axnn::zoo;
+use axquant::{Placement, QuantModel};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N_IMAGES: usize = 4;
+
+fn setup() -> (QuantModel, Vec<Tensor>, Vec<MulLut>) {
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(1));
+    let mut rng = Rng::seed_from_u64(2);
+    let images: Vec<Tensor> = (0..N_IMAGES)
+        .map(|_| {
+            let mut t = Tensor::zeros(&[1, 28, 28]);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect();
+    let q = QuantModel::from_float(&model, &images[..1], Placement::ConvOnly).unwrap();
+    let reg = Registry::standard();
+    // One exact column (as a LUT, like the figures' M1) + three approx.
+    let mut kernels = vec![MulLut::exact()];
+    for name in ["17KS", "JQQ", "L40"] {
+        kernels.push(reg.build_lut(name).unwrap());
+    }
+    (q, images, kernels)
+}
+
+fn bench_qforward(c: &mut Criterion) {
+    let (q, images, kernels) = setup();
+    let krefs: Vec<&MulLut> = kernels.iter().collect();
+    let m = krefs.len();
+    let mut group = c.benchmark_group(format!("lenet5_qforward_{m}kx{N_IMAGES}img"));
+    group.bench_function("scalar_passes", |b| {
+        b.iter(|| {
+            let mut sum = 0usize;
+            for lut in &krefs {
+                for img in &images {
+                    sum += q.predict_with(black_box(img), *lut);
+                }
+            }
+            sum
+        })
+    });
+    let plan = q.plan(&[1, 28, 28]);
+    group.bench_function("batched_serial", |b| {
+        let mut scratch = plan.scratch_for(m);
+        b.iter(|| {
+            images
+                .iter()
+                .map(|img| {
+                    plan.forward_multi(&mut scratch, black_box(img), &krefs)
+                        .iter()
+                        .map(Tensor::argmax)
+                        .sum::<usize>()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("batched_parallel", |b| {
+        b.iter(|| plan.predict_batch_with(black_box(&images), &krefs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qforward);
+criterion_main!(benches);

@@ -76,6 +76,10 @@ pub fn evaluate_robustness(
         .collect();
     let qmdl =
         QuantModel::from_float_with_level(model, &calib, Placement::ConvOnly, inputs.qlevel)?;
+    // Compile the victim's execution plan once; the per-image loop below
+    // keeps the paper's control flow but reuses plan + scratch buffers.
+    let qplan = qmdl.plan(inputs.data.image(0).dims());
+    let mut scratch = qplan.scratch_for(1);
     let attack = inputs.attack.build();
 
     let mut robustness = Vec::with_capacity(inputs.eps.len());
@@ -98,7 +102,9 @@ pub fn evaluate_robustness(
             );
             // Line 8: adversarial attack on the quantized model with the
             // victim's multiplier.
-            let predicted = qmdl.predict_with(&x_adv, inputs.mult);
+            let predicted = qplan
+                .forward_one(&mut scratch, &x_adv, inputs.mult)
+                .argmax();
             // Lines 9-13: count successful misclassifications.
             if predicted != inputs.data.label(k) {
                 adv += 1;

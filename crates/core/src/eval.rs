@@ -5,10 +5,17 @@
 //! the approximate inference engine) and every quantized victim — accurate
 //! and approximate — is evaluated on the *same* examples. Robustness is
 //! the fraction of examples that remain correctly classified (line 15).
+//!
+//! Evaluation runs on the compiled batch engine
+//! ([`axquant::plan::QPlan`]): each crafted adversarial set is pushed
+//! through *all* multiplier columns of a figure in one multi-kernel pass
+//! ([`multi_kernel_adversarial_accuracy`]), sharing input quantization
+//! and first-layer im2col work across the victims instead of re-running
+//! one scalar forward pass per (image, multiplier) cell.
 
 use axattack::suite::AttackId;
 use axdata::Dataset;
-use axmul::MulLut;
+use axmul::{MulKernel, MulLut};
 use axnn::Sequential;
 use axquant::QuantModel;
 use axtensor::Tensor;
@@ -66,25 +73,49 @@ pub fn craft_adversarial_set(
 
 /// Accuracy of one victim/kernel pair on a crafted adversarial set.
 pub fn adversarial_accuracy(victim: &QuantModel, kernel: &MulLut, advs: &[(Tensor, usize)]) -> f32 {
+    multi_kernel_adversarial_accuracy(victim, &[kernel], advs)[0]
+}
+
+/// Accuracy of one victim under *every* kernel column on a crafted
+/// adversarial set, in a single batched multi-kernel pass.
+///
+/// This is the engine behind [`robustness_grid`]: one compiled plan, and
+/// per image the kernels share the quantized input and the first
+/// approximated layer's im2col patches. Returns one accuracy per kernel;
+/// an empty `advs` yields `0.0` columns (no example survived).
+///
+/// # Panics
+///
+/// Panics if `kernels` is empty.
+pub fn multi_kernel_adversarial_accuracy<K: MulKernel + ?Sized>(
+    victim: &QuantModel,
+    kernels: &[&K],
+    advs: &[(Tensor, usize)],
+) -> Vec<f32> {
+    assert!(!kernels.is_empty(), "need at least one kernel column");
     if advs.is_empty() {
-        return 0.0;
+        return vec![0.0; kernels.len()];
     }
-    let correct = parallel::par_reduce(
-        advs.len(),
-        || 0usize,
-        |acc, i| {
-            let (x, y) = &advs[i];
-            acc + usize::from(victim.predict_with(x, kernel) == *y)
-        },
-        |a, b| a + b,
-    );
-    correct as f32 / advs.len() as f32
+    let plan = victim.plan(advs[0].0.dims());
+    let preds = plan.predict_batch_indexed(advs.len(), |i| &advs[i].0, kernels);
+    let mut correct = vec![0usize; kernels.len()];
+    for (row, &(_, label)) in preds.iter().zip(advs) {
+        for (c, &p) in correct.iter_mut().zip(row) {
+            *c += usize::from(p == label);
+        }
+    }
+    correct
+        .into_iter()
+        .map(|c| c as f32 / advs.len() as f32)
+        .collect()
 }
 
 /// Runs the full grid for one attack: every epsilon × every multiplier.
 ///
 /// `mults` pairs display names with inference LUTs; by paper convention
-/// the first entry is the accurate part (M1).
+/// the first entry is the accurate part (M1). Each epsilon's crafted set
+/// is evaluated against all multiplier columns in one batched
+/// multi-kernel pass.
 pub fn robustness_grid(
     source: &Sequential,
     victim: &QuantModel,
@@ -94,14 +125,11 @@ pub fn robustness_grid(
     opts: &EvalOpts,
 ) -> RobustnessGrid {
     assert!(!mults.is_empty(), "need at least one multiplier column");
+    let kernels: Vec<&MulLut> = mults.iter().map(|(_, lut)| lut).collect();
     let mut acc = Vec::with_capacity(opts.eps_grid.len());
     for &eps in &opts.eps_grid {
         let advs = craft_adversarial_set(source, attack_id, data, eps, opts.n_examples, opts.seed);
-        let row: Vec<f32> = mults
-            .iter()
-            .map(|(_, lut)| adversarial_accuracy(victim, lut, &advs))
-            .collect();
-        acc.push(row);
+        acc.push(multi_kernel_adversarial_accuracy(victim, &kernels, &advs));
     }
     RobustnessGrid::new(
         attack_id.name(),
@@ -202,5 +230,29 @@ mod tests {
         let (_, q, _) = quick_setup();
         let lut = Registry::standard().build_lut("1JFF").unwrap();
         assert_eq!(adversarial_accuracy(&q, &lut, &[]), 0.0);
+        assert_eq!(
+            multi_kernel_adversarial_accuracy(&q, &[&lut, &lut], &[]),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn multi_kernel_pass_matches_single_kernel_columns() {
+        let (model, q, test) = quick_setup();
+        let reg = Registry::standard();
+        let luts: Vec<MulLut> = ["1JFF", "L40", "17KS"]
+            .iter()
+            .map(|n| reg.build_lut(n).unwrap())
+            .collect();
+        let advs = craft_adversarial_set(&model, AttackId::FgmLinf, &test, 0.1, 20, 4);
+        let kernels: Vec<&MulLut> = luts.iter().collect();
+        let multi = multi_kernel_adversarial_accuracy(&q, &kernels, &advs);
+        for (k, lut) in luts.iter().enumerate() {
+            assert_eq!(
+                multi[k],
+                adversarial_accuracy(&q, lut, &advs),
+                "column {k} diverges from its scalar evaluation"
+            );
+        }
     }
 }

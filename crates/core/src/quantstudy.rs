@@ -14,7 +14,7 @@ use axnn::Sequential;
 use axquant::QuantModel;
 use axutil::parallel;
 
-use crate::eval::craft_adversarial_set;
+use crate::eval::{adversarial_accuracy, craft_adversarial_set};
 
 /// One attack's pair of robustness curves.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,15 +111,8 @@ pub fn quantization_study(
                 |a, b| a + b,
             ) as f32
                 / advs.len().max(1) as f32;
-            let ql = parallel::par_reduce(
-                advs.len(),
-                || 0usize,
-                |acc, i| {
-                    acc + usize::from(qmodel.predict_with(&advs[i].0, &exact_lut) == advs[i].1)
-                },
-                |a, b| a + b,
-            ) as f32
-                / advs.len().max(1) as f32;
+            // The quantized lane runs on the batched plan engine.
+            let ql = adversarial_accuracy(qmodel, &exact_lut, &advs);
             float_acc.push(fl);
             quant_acc.push(ql);
         }
