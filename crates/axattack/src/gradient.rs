@@ -5,10 +5,16 @@
 //! projection; PGD additionally starts from a random point inside the
 //! ball (Madry et al.), which is why BIM and PGD behave near-identically
 //! in the paper's figures while FGM is visibly weaker.
+//!
+//! All three override [`Attack::craft_batch`]: a thread chunk compiles
+//! one [`axnn::plan::FPlan`] and scratch, then steps every image of the
+//! chunk together, each under its own derived RNG stream — bit-identical
+//! to the scalar [`Attack::craft`] loop but without the per-call plan,
+//! tape and step-tensor allocations.
 
 use axnn::Sequential;
 use axtensor::Tensor;
-use axutil::rng::Rng;
+use axutil::{parallel, rng::Rng};
 
 use crate::norms::{normalized, project_to_ball, Norm};
 use crate::Attack;
@@ -44,13 +50,33 @@ impl Attack for Fgm {
             return x.clone();
         }
         let (_, grad) = model.input_gradient(x, label);
-        let step = match self.norm {
-            Norm::Linf => grad.map(f32::signum),
-            Norm::L2 => normalized(&grad, Norm::L2),
-        };
-        let mut adv = x.clone();
-        adv.add_scaled(&step, eps);
-        project_to_ball(&adv, x, eps, self.norm)
+        ascend(x, x, &grad, eps, eps, self.norm)
+    }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        _rng: &Rng,
+    ) -> Vec<Tensor> {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(eps >= 0.0, "negative budget");
+        if images.is_empty() || eps == 0.0 {
+            return images.to_vec();
+        }
+        let plan = model.plan(images[0].dims());
+        plan.prepare_backward();
+        parallel::par_map_chunks(images.len(), |range| {
+            let mut scratch = plan.scratch();
+            range
+                .map(|i| {
+                    let (_, grad) = plan.input_gradient(&mut scratch, &images[i], labels[i]);
+                    ascend(&images[i], &images[i], &grad, eps, eps, self.norm)
+                })
+                .collect()
+        })
     }
 }
 
@@ -89,6 +115,19 @@ impl Attack for Bim {
         _rng: &mut Rng,
     ) -> Tensor {
         iterate(model, x, label, eps, self.norm, self.steps, None)
+    }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        batch_iterate(
+            model, images, labels, eps, self.norm, self.steps, false, rng,
+        )
     }
 }
 
@@ -129,6 +168,62 @@ impl Attack for Pgd {
     ) -> Tensor {
         iterate(model, x, label, eps, self.norm, self.steps, Some(rng))
     }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        batch_iterate(model, images, labels, eps, self.norm, self.steps, true, rng)
+    }
+}
+
+/// The ascent direction for one gradient under `norm`: the sign pattern
+/// for linf, the l2-normalized gradient for l2.
+fn grad_step(grad: &Tensor, norm: Norm) -> Tensor {
+    match norm {
+        Norm::Linf => grad.map(f32::signum),
+        Norm::L2 => normalized(grad, Norm::L2),
+    }
+}
+
+/// One gradient-ascent move: `cur + alpha * grad_step(grad)`, projected
+/// onto the eps-ball around `origin` and the pixel box.
+///
+/// The single definition of the update rule — scalar and batched
+/// FGM/BIM/PGD all step through here, which is what makes the
+/// batch-vs-scalar bit-identity structural rather than hand-synced.
+fn ascend(
+    cur: &Tensor,
+    origin: &Tensor,
+    grad: &Tensor,
+    alpha: f32,
+    eps: f32,
+    norm: Norm,
+) -> Tensor {
+    let step = grad_step(grad, norm);
+    let mut adv = cur.clone();
+    adv.add_scaled(&step, alpha);
+    project_to_ball(&adv, origin, eps, norm)
+}
+
+/// The PGD initialization: a uniformly random point inside the eps-ball
+/// around `x` (Madry et al.), projected back to ball ∩ box. Shared by
+/// the scalar and batched loops.
+fn random_start(x: &Tensor, eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
+    let mut noise = Tensor::zeros(x.dims());
+    match norm {
+        Norm::Linf => rng.fill_range_f32(noise.data_mut(), -eps, eps),
+        Norm::L2 => {
+            rng.fill_normal_f32(noise.data_mut(), 1.0);
+            let scale = rng.next_f32();
+            noise = normalized(&noise, Norm::L2).scaled(eps * scale);
+        }
+    }
+    project_to_ball(&x.add(&noise), x, eps, norm)
 }
 
 /// Shared BIM/PGD loop. `random_start` enables the PGD initialization.
@@ -149,30 +244,63 @@ fn iterate(
     // the ball without overshooting.
     let alpha = 2.5 * eps / steps as f32;
     let mut adv = match random_start {
-        Some(rng) => {
-            let mut noise = Tensor::zeros(x.dims());
-            match norm {
-                Norm::Linf => rng.fill_range_f32(noise.data_mut(), -eps, eps),
-                Norm::L2 => {
-                    rng.fill_normal_f32(noise.data_mut(), 1.0);
-                    let scale = rng.next_f32();
-                    noise = normalized(&noise, Norm::L2).scaled(eps * scale);
-                }
-            }
-            project_to_ball(&x.add(&noise), x, eps, norm)
-        }
+        Some(rng) => self::random_start(x, eps, norm, rng),
         None => x.clone(),
     };
     for _ in 0..steps {
         let (_, grad) = model.input_gradient(&adv, label);
-        let step = match norm {
-            Norm::Linf => grad.map(f32::signum),
-            Norm::L2 => normalized(&grad, Norm::L2),
-        };
-        adv.add_scaled(&step, alpha);
-        adv = project_to_ball(&adv, x, eps, norm);
+        adv = ascend(&adv, x, &grad, alpha, eps, norm);
     }
     adv
+}
+
+/// The batched BIM/PGD loop: one compiled plan shared by all threads,
+/// one scratch per image chunk, all images of a chunk stepped together.
+/// Image `i` uses the RNG stream `rng.derive(i)`, so the result is
+/// bit-identical to per-image [`iterate`] calls for any chunking.
+#[allow(clippy::too_many_arguments)]
+fn batch_iterate(
+    model: &Sequential,
+    images: &[Tensor],
+    labels: &[usize],
+    eps: f32,
+    norm: Norm,
+    steps: usize,
+    random_start: bool,
+    rng: &Rng,
+) -> Vec<Tensor> {
+    assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+    assert!(eps >= 0.0, "negative budget");
+    if images.is_empty() || eps == 0.0 {
+        return images.to_vec();
+    }
+    let alpha = 2.5 * eps / steps as f32;
+    let plan = model.plan(images[0].dims());
+    plan.prepare_backward();
+    parallel::par_map_chunks(images.len(), |range| {
+        let mut scratch = plan.scratch();
+        // Initialize every iterate of the chunk (PGD: random start from
+        // the image's own derived stream), then walk all of them forward
+        // one gradient step at a time.
+        let mut advs: Vec<Tensor> = range
+            .clone()
+            .map(|i| {
+                let x = &images[i];
+                if random_start {
+                    self::random_start(x, eps, norm, &mut rng.derive(i as u64))
+                } else {
+                    x.clone()
+                }
+            })
+            .collect();
+        for _ in 0..steps {
+            for (adv, i) in advs.iter_mut().zip(range.clone()) {
+                let (_, grad) = plan.input_gradient(&mut scratch, adv, labels[i]);
+                *adv = ascend(adv, &images[i], &grad, alpha, eps, norm);
+            }
+        }
+        advs
+    })
 }
 
 #[cfg(test)]
@@ -300,6 +428,48 @@ mod tests {
         let a = Pgd::new(Norm::Linf).craft(&model, &x, 0, 0.1, &mut Rng::seed_from_u64(5));
         let b = Pgd::new(Norm::Linf).craft(&model, &x, 0, 0.1, &mut Rng::seed_from_u64(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_loss_fgm_l2_is_a_no_op() {
+        // All-zero weights make the loss flat in the input: the gradient
+        // is exactly zero, `normalized` maps it to the zero step, and the
+        // crafted example must equal the input.
+        let zero = Sequential::new(
+            "flat",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::from_parts(
+                    Tensor::zeros(&[3, 16]),
+                    Tensor::zeros(&[3]),
+                )),
+            ],
+        );
+        let x = toy_input(20);
+        let mut rng = Rng::seed_from_u64(21);
+        let adv = Fgm::new(Norm::L2).craft(&zero, &x, 1, 0.3, &mut rng);
+        assert_eq!(adv, x, "flat-loss FGM-l2 must leave the input unchanged");
+    }
+
+    #[test]
+    fn craft_batch_matches_per_image_crafting() {
+        let model = toy_model(22);
+        let images: Vec<Tensor> = (23..29).map(toy_input).collect();
+        let labels = vec![0usize, 1, 2, 0, 1, 2];
+        let base = Rng::seed_from_u64(30);
+        for attack in [
+            &Fgm::new(Norm::Linf) as &dyn Attack,
+            &Fgm::new(Norm::L2),
+            &Bim::new(Norm::Linf),
+            &Pgd::new(Norm::L2),
+            &Pgd::new(Norm::Linf),
+        ] {
+            let batch = attack.craft_batch(&model, &images, &labels, 0.1, &base);
+            for (i, (img, &lbl)) in images.iter().zip(&labels).enumerate() {
+                let scalar = attack.craft(&model, img, lbl, 0.1, &mut base.derive(i as u64));
+                assert_eq!(batch[i], scalar, "{} image {i}", attack.name());
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! budget `eps` in the attack's norm and the result clipped to the valid
 //! pixel range `[0, 1]`. Victim AxDNNs never see the attack internals.
 //!
+//! Whole evaluation sets are crafted in one [`Attack::craft_batch`]
+//! call: per-image RNG streams make the batched result bit-identical to
+//! the per-image [`Attack::craft`] loop for any thread chunking, and the
+//! gradient attacks step all images of a chunk together on one compiled
+//! [`axnn::plan::FPlan`].
+//!
 //! # Examples
 //!
 //! ```
@@ -41,7 +47,7 @@ pub mod suite;
 
 use axnn::Sequential;
 use axtensor::Tensor;
-use axutil::rng::Rng;
+use axutil::{parallel, rng::Rng};
 
 pub use norms::Norm;
 
@@ -61,4 +67,39 @@ pub trait Attack: Sync {
         eps: f32,
         rng: &mut Rng,
     ) -> Tensor;
+
+    /// Crafts adversarial examples for a whole evaluation set in one
+    /// batched pass, chunked over threads via
+    /// [`axutil::parallel::par_map_chunks`].
+    ///
+    /// Image `i` is crafted under its own derived RNG stream
+    /// `rng.derive(i as u64)`, so the result is **bit-identical** to the
+    /// per-image loop
+    /// `craft(model, &images[i], labels[i], eps, &mut rng.derive(i as u64))`
+    /// regardless of how the batch is chunked across threads. The
+    /// gradient attacks (FGM/BIM/PGD) override this to step all images
+    /// of a chunk together on one compiled plan and scratch; the default
+    /// implementation crafts per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` disagree in length.
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        parallel::par_map_chunks(images.len(), |range| {
+            range
+                .map(|i| {
+                    let mut stream = rng.derive(i as u64);
+                    self.craft(model, &images[i], labels[i], eps, &mut stream)
+                })
+                .collect()
+        })
+    }
 }

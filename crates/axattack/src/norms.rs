@@ -30,15 +30,20 @@ impl Norm {
     }
 }
 
-/// Scales `dir` to unit length in the given norm. Zero directions are
-/// returned unchanged.
+/// Scales `dir` to unit length in the given norm.
+///
+/// Convention: a zero or numerically negligible direction (norm at most
+/// `1e-12`) has no meaningful unit vector and maps to the **zero
+/// tensor** — not to the unnormalized input direction — so a gradient
+/// step on a flat loss is a no-op (`adv == x` for FGM-l2) instead of a
+/// step along floating-point noise.
 pub fn normalized(dir: &Tensor, norm: Norm) -> Tensor {
     let n = match norm {
         Norm::L2 => dir.l2_norm(),
         Norm::Linf => dir.linf_norm(),
     };
     if n <= 1e-12 {
-        dir.clone()
+        Tensor::zeros(dir.dims())
     } else {
         dir.scaled(1.0 / n)
     }
@@ -84,6 +89,15 @@ mod tests {
     fn normalized_zero_is_zero() {
         let z = Tensor::zeros(&[5]);
         assert_eq!(normalized(&z, Norm::L2), z);
+    }
+
+    #[test]
+    fn normalized_negligible_direction_is_zero_not_passthrough() {
+        // A tiny but nonzero direction must map to the zero tensor (the
+        // documented flat-loss convention), not be returned unscaled.
+        let tiny = Tensor::from_vec(vec![1e-20, -1e-20, 0.0], &[3]);
+        assert_eq!(normalized(&tiny, Norm::L2), Tensor::zeros(&[3]));
+        assert_eq!(normalized(&tiny, Norm::Linf), Tensor::zeros(&[3]));
     }
 
     #[test]

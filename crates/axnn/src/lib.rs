@@ -6,6 +6,13 @@
 //! * [`layer`] — convolution, dense, average-pooling, ReLU and flatten
 //!   layers with forward *and* backward passes (parameter gradients and
 //!   input gradients — the latter power the gradient-based attacks).
+//! * [`plan`] / [`exec`] — the compiled float engine: an
+//!   [`plan::FPlan`] resolves layer geometry once per `(model, input
+//!   shape)` pair and replays im2col-GEMM kernels over reusable scratch,
+//!   with batched input-gradient entry points that the batched attack
+//!   crafting in `axattack` builds on. [`model::Sequential`]'s
+//!   `forward`/`input_gradient`/`loss_and_grads` are thin bit-compatible
+//!   wrappers over it.
 //! * [`loss`] — numerically stable softmax cross-entropy.
 //! * [`model`] — [`model::Sequential`] composition, prediction
 //!   and accuracy evaluation.
@@ -38,14 +45,17 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod exec;
 pub mod init;
 pub mod layer;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod plan;
 pub mod serialize;
 pub mod train;
 pub mod zoo;
 
 pub use layer::Layer;
 pub use model::Sequential;
+pub use plan::{FPlan, FScratch};

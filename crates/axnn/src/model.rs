@@ -5,7 +5,6 @@ use axtensor::Tensor;
 use axutil::parallel;
 
 use crate::layer::Layer;
-use crate::loss::cross_entropy_with_grad;
 
 /// Parameter gradients for a whole model: one `Vec<Tensor>` per layer,
 /// each in the layer's `params()` order (empty for parameterless layers).
@@ -98,12 +97,13 @@ impl Sequential {
     }
 
     /// Runs the model forward, returning logits.
+    ///
+    /// Thin wrapper over the compiled engine ([`crate::plan::FPlan`]);
+    /// bit-compatible with the seed layer-by-layer loop.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
-        }
-        cur
+        let plan = self.plan(x.dims());
+        let mut scratch = plan.scratch();
+        plan.forward(&mut scratch, x)
     }
 
     /// Forward pass that records every layer input (needed by backward).
@@ -131,31 +131,58 @@ impl Sequential {
     }
 
     /// Cross-entropy loss and parameter gradients for one example.
+    ///
+    /// Thin wrapper over the compiled engine ([`crate::plan::FPlan`]);
+    /// bit-compatible with the seed layer-by-layer loop.
     pub fn loss_and_grads(&self, x: &Tensor, target: usize) -> (f32, GradBuffer) {
-        let (inputs, logits) = self.forward_trace(x);
-        let (loss, mut grad) = cross_entropy_with_grad(&logits, target);
-        let mut buf = self.zero_grads();
-        for (i, layer) in self.layers.iter().enumerate().rev() {
-            let pg = &mut buf.layers[i];
-            let slice = if pg.is_empty() {
-                None
-            } else {
-                Some(pg.as_mut_slice())
-            };
-            grad = layer.backward(&inputs[i], &grad, slice);
-        }
-        (loss, buf)
+        let plan = self.plan(x.dims());
+        let mut scratch = plan.scratch();
+        plan.loss_and_grads(&mut scratch, x, target)
     }
 
     /// Cross-entropy loss and the gradient with respect to the *input* —
     /// the quantity gradient-based adversarial attacks ascend.
+    ///
+    /// Thin wrapper over the compiled engine ([`crate::plan::FPlan`]);
+    /// bit-compatible with the seed layer-by-layer loop.
     pub fn input_gradient(&self, x: &Tensor, target: usize) -> (f32, Tensor) {
-        let (inputs, logits) = self.forward_trace(x);
-        let (loss, mut grad) = cross_entropy_with_grad(&logits, target);
-        for (i, layer) in self.layers.iter().enumerate().rev() {
-            grad = layer.backward(&inputs[i], &grad, None);
+        let plan = self.plan(x.dims());
+        let mut scratch = plan.scratch();
+        plan.input_gradient(&mut scratch, x, target)
+    }
+
+    /// Input gradients for a whole batch of examples in one pass, chunked
+    /// over threads with one compiled plan and one scratch per chunk.
+    ///
+    /// Returns one gradient per image, in order, bit-identical to
+    /// per-image [`Sequential::input_gradient`] calls regardless of how
+    /// the batch is chunked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` disagree in length or the images
+    /// do not share one shape.
+    pub fn input_gradient_batch(&self, images: &[Tensor], labels: &[usize]) -> Vec<Tensor> {
+        self.loss_and_input_grads_batch(images, labels)
+            .into_iter()
+            .map(|(_, g)| g)
+            .collect()
+    }
+
+    /// Like [`Sequential::input_gradient_batch`], but also returns each
+    /// example's cross-entropy loss (used by loss-landscape sweeps and
+    /// gradient-aggregating universal-perturbation workloads).
+    pub fn loss_and_input_grads_batch(
+        &self,
+        images: &[Tensor],
+        labels: &[usize],
+    ) -> Vec<(f32, Tensor)> {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        if images.is_empty() {
+            return Vec::new();
         }
-        (loss, grad)
+        let plan = self.plan(images[0].dims());
+        plan.input_gradient_batch_indexed(images.len(), |i| &images[i], |i| labels[i])
     }
 
     /// Applies a gradient step: `param -= lr * grad` (plain SGD; momentum
@@ -169,18 +196,30 @@ impl Sequential {
     }
 
     /// Classification accuracy over (up to `max_n` examples of) a dataset,
-    /// evaluated in parallel.
+    /// evaluated on the batched plan engine: one compiled plan, threads
+    /// work contiguous image chunks with one scratch each instead of
+    /// paying a per-image `predict` (plan + scratch) setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample (empty dataset or `max_n == 0`) — an
+    /// accuracy of "0.0" there would silently read as a model failure.
     pub fn accuracy(&self, data: &Dataset, max_n: usize) -> f32 {
         let n = data.len().min(max_n);
-        if n == 0 {
-            return 0.0;
-        }
-        let correct = parallel::par_reduce(
-            n,
-            || 0usize,
-            |acc, i| acc + usize::from(self.predict(data.image(i)) == data.label(i)),
-            |a, b| a + b,
+        assert!(
+            n > 0,
+            "accuracy needs a non-empty sample (dataset len {}, max_n {max_n})",
+            data.len()
         );
+        let plan = self.plan(data.image(0).dims());
+        let correct: usize = parallel::par_map_chunks(n, |range| {
+            let mut scratch = plan.scratch();
+            range
+                .map(|i| usize::from(plan.predict(&mut scratch, data.image(i)) == data.label(i)))
+                .collect()
+        })
+        .into_iter()
+        .sum();
         correct as f32 / n as f32
     }
 

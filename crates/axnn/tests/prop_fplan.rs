@@ -1,0 +1,171 @@
+//! Property tests pinning the compiled float engine to the seed paths.
+//!
+//! The plan/exec engine must be a pure performance optimization: for any
+//! model topology, `FPlan::forward`, `FPlan::input_gradient` and
+//! `FPlan::loss_and_grads` must be *bit-exact* with the seed
+//! layer-by-layer loops (`Layer::forward` / `Layer::backward`, which are
+//! kept as the reference implementation), and the batched gradient entry
+//! points must be bit-exact with per-image calls.
+
+use axnn::layer::{AvgPool2d, Conv2d, Dense, Layer};
+use axnn::loss::cross_entropy_with_grad;
+use axnn::model::{GradBuffer, Sequential};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use proptest::prelude::*;
+
+const IN_DIMS: [usize; 3] = [2, 8, 8];
+
+/// A small random model of one of four shapes that together cover every
+/// engine path: dense-only, conv without padding, conv+pad+avgpool, and
+/// a strided padded conv (the backward gather's hardest case).
+fn small_model(arch: usize, seed: u64) -> Sequential {
+    let rng = &mut Rng::seed_from_u64(seed);
+    match arch % 4 {
+        0 => Sequential::new(
+            "p-ffnn",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(128, 16, rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(16, 4, rng)),
+            ],
+        ),
+        1 => Sequential::new(
+            "p-conv",
+            vec![
+                Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 0, rng)),
+                Layer::Relu,
+                Layer::Flatten,
+                Layer::Dense(Dense::new(3 * 6 * 6, 4, rng)),
+            ],
+        ),
+        2 => Sequential::new(
+            "p-convpool",
+            vec![
+                Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 1, rng)),
+                Layer::Relu,
+                Layer::AvgPool(AvgPool2d::new(2)),
+                Layer::Conv2d(Conv2d::new(3, 2, 3, 1, 1, rng)),
+                Layer::Relu,
+                Layer::Flatten,
+                Layer::Dense(Dense::new(2 * 4 * 4, 4, rng)),
+            ],
+        ),
+        _ => Sequential::new(
+            "p-strided",
+            vec![
+                Layer::Conv2d(Conv2d::new(2, 3, 3, 2, 1, rng)),
+                Layer::Relu,
+                Layer::Flatten,
+                Layer::Dense(Dense::new(3 * 4 * 4, 4, rng)),
+            ],
+        ),
+    }
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = Tensor::zeros(&IN_DIMS);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect()
+}
+
+/// The seed layer-by-layer forward: the reference path.
+fn seed_forward(m: &Sequential, x: &Tensor) -> Tensor {
+    let mut cur = x.clone();
+    for layer in m.layers() {
+        cur = layer.forward(&cur);
+    }
+    cur
+}
+
+/// The seed layer-by-layer backward, optionally with parameter grads.
+fn seed_backward(m: &Sequential, x: &Tensor, target: usize) -> (f32, Tensor, GradBuffer) {
+    let (inputs, logits) = m.forward_trace(x);
+    let (loss, mut grad) = cross_entropy_with_grad(&logits, target);
+    let mut buf = m.zero_grads();
+    for (i, layer) in m.layers().iter().enumerate().rev() {
+        let pg = &mut buf.layers[i];
+        let slice = if pg.is_empty() {
+            None
+        } else {
+            Some(pg.as_mut_slice())
+        };
+        grad = layer.backward(&inputs[i], &grad, slice);
+    }
+    (loss, grad, buf)
+}
+
+/// Checks one model against the seed paths over a probe set. Returns an
+/// error message on the first mismatch.
+fn check_engine(model: &Sequential, probes: &[Tensor]) -> Result<(), String> {
+    let plan = model.plan(&IN_DIMS);
+    let mut scratch = plan.scratch();
+    for (pi, x) in probes.iter().enumerate() {
+        let target = pi % 4;
+        let y = plan.forward(&mut scratch, x);
+        let sy = seed_forward(model, x);
+        if y.data() != sy.data() {
+            return Err(format!("forward diverges on {} probe {pi}", model.name()));
+        }
+        let (loss, grad) = plan.input_gradient(&mut scratch, x, target);
+        let (sl, sg, sbuf) = seed_backward(model, x, target);
+        if loss != sl {
+            return Err(format!("loss diverges on {} probe {pi}", model.name()));
+        }
+        if grad != sg {
+            return Err(format!(
+                "input gradient diverges on {} probe {pi}",
+                model.name()
+            ));
+        }
+        let (_, buf) = plan.loss_and_grads(&mut scratch, x, target);
+        if buf != sbuf {
+            return Err(format!(
+                "parameter gradients diverge on {} probe {pi}",
+                model.name()
+            ));
+        }
+    }
+    // Batch entry points against per-image wrapper calls.
+    let labels: Vec<usize> = (0..probes.len()).map(|i| i % 4).collect();
+    let batch = model.loss_and_input_grads_batch(probes, &labels);
+    for (i, (x, &lbl)) in probes.iter().zip(&labels).enumerate() {
+        if batch[i] != model.input_gradient(x, lbl) {
+            return Err(format!("batch gradient diverges on image {i}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn fplan_is_bit_exact_with_seed_paths(
+        seed in proptest::strategy::any::<u64>(),
+        arch in 0usize..4,
+    ) {
+        let model = small_model(arch, seed);
+        let probes = images(3, seed ^ 0xF10A7);
+        if let Err(msg) = check_engine(&model, &probes) {
+            prop_assert!(false, "{msg} (arch {arch}, seed {seed})");
+        }
+    }
+}
+
+/// Every architecture deterministically, for a quick always-on cover.
+#[test]
+fn fplan_matches_seed_on_every_architecture() {
+    for arch in 0..4 {
+        let model = small_model(arch, 1234 + arch as u64);
+        let probes = images(2, 99 + arch as u64);
+        if let Err(msg) = check_engine(&model, &probes) {
+            panic!("{msg} (arch {arch})");
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Per-attack crafting cost on the FFNN (one image), covering the
-//! single-step, iterated and decision-based families.
+//! single-step, iterated and decision-based families, plus the
+//! scalar-vs-batched crafting comparison on a LeNet-5-sized model.
 
+use axattack::gradient::{Bim, Fgm, Pgd};
 use axattack::suite::AttackId;
+use axattack::{Attack, Norm};
 use axnn::zoo;
 use axtensor::Tensor;
 use axutil::rng::Rng;
@@ -37,5 +40,55 @@ fn bench_attacks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_attacks);
+/// Scalar (per-image `craft`) vs batched (`craft_batch`) crafting of a
+/// small set on LeNet-5 — the regression guard for the batched autodiff
+/// engine. Few iteration steps keep criterion's calibration fast; the
+/// `bench_report` binary measures the full paper-default configuration.
+fn bench_batched_crafting(c: &mut Criterion) {
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(4));
+    let mut rng = Rng::seed_from_u64(5);
+    let images: Vec<Tensor> = (0..4)
+        .map(|_| {
+            let mut t = Tensor::zeros(&[1, 28, 28]);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect();
+    let labels = vec![3usize, 1, 4, 1];
+    let base = Rng::seed_from_u64(6);
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("fgm", Box::new(Fgm::new(Norm::Linf))),
+        ("bim", Box::new(Bim::new(Norm::Linf).with_steps(2))),
+        ("pgd", Box::new(Pgd::new(Norm::L2).with_steps(2))),
+    ];
+    let mut group = c.benchmark_group("attack_craft_batch");
+    for (tag, attack) in &attacks {
+        group.bench_function(format!("{tag}_scalar_set"), |b| {
+            b.iter(|| {
+                images
+                    .iter()
+                    .zip(&labels)
+                    .enumerate()
+                    .map(|(i, (img, &lbl))| {
+                        attack.craft(
+                            black_box(&model),
+                            black_box(img),
+                            lbl,
+                            0.1,
+                            &mut base.derive(i as u64),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function(format!("{tag}_batched_set"), |b| {
+            b.iter(|| {
+                attack.craft_batch(black_box(&model), black_box(&images), &labels, 0.1, &base)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks, bench_batched_crafting);
 criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! The attack-crafting performance trajectory: scalar vs batched.
+//!
+//! Crafts a small adversarial set on a LeNet-5-sized model both ways —
+//! per-image [`axattack::Attack::craft`] calls and one
+//! [`axattack::Attack::craft_batch`] pass — under `AXDNN_THREADS=1` so
+//! the comparison isolates the batching win (plan/scratch/tape reuse)
+//! from thread scaling, then re-times the batched path at the machine's
+//! parallelism. Writes `BENCH_attacks.json` into the current directory
+//! (the repo root in CI) and a human-readable copy into the artifacts
+//! directory.
+//!
+//! Environment: `AXDNN_BENCH_IMAGES` (default 8) and `AXDNN_BENCH_REPS`
+//! (default 3) size the workload.
+
+use std::time::Instant;
+
+use axattack::gradient::{Bim, Fgm, Pgd};
+use axattack::norms::Norm;
+use axattack::Attack;
+use axnn::zoo;
+use axtensor::Tensor;
+use axutil::{parallel, rng::Rng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Median of `reps` wall-clock timings of `f`, in milliseconds.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct Row {
+    attack: String,
+    scalar_ms: f64,
+    batched_ms: f64,
+    batched_par_ms: f64,
+}
+
+fn main() {
+    // Pin the scalar-vs-batched comparison to one thread; the parallel
+    // column at the end shows the additional thread scaling.
+    std::env::set_var("AXDNN_THREADS", "1");
+    let n_images = env_usize("AXDNN_BENCH_IMAGES", 8);
+    let reps = env_usize("AXDNN_BENCH_REPS", 3);
+
+    let model = zoo::lenet5(&mut Rng::seed_from_u64(1));
+    let mut rng = Rng::seed_from_u64(2);
+    let images: Vec<Tensor> = (0..n_images)
+        .map(|_| {
+            let mut t = Tensor::zeros(&[1, 28, 28]);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect();
+    let labels: Vec<usize> = (0..n_images).map(|i| i % 10).collect();
+    let base = Rng::seed_from_u64(3);
+    let eps = 0.1f32;
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgm::new(Norm::Linf)),
+        Box::new(Bim::new(Norm::Linf)),
+        Box::new(Pgd::new(Norm::Linf)),
+        Box::new(Pgd::new(Norm::L2)),
+    ];
+
+    let mut rows = Vec::new();
+    for attack in &attacks {
+        // Warm-up + correctness check: both paths must agree bit-for-bit.
+        let batch = attack.craft_batch(&model, &images, &labels, eps, &base);
+        for (i, (img, &lbl)) in images.iter().zip(&labels).enumerate() {
+            let scalar = attack.craft(&model, img, lbl, eps, &mut base.derive(i as u64));
+            assert_eq!(batch[i], scalar, "{} image {i} diverged", attack.name());
+        }
+
+        let scalar_ms = median_ms(reps, || {
+            for (i, (img, &lbl)) in images.iter().zip(&labels).enumerate() {
+                std::hint::black_box(attack.craft(
+                    &model,
+                    img,
+                    lbl,
+                    eps,
+                    &mut base.derive(i as u64),
+                ));
+            }
+        });
+        let batched_ms = median_ms(reps, || {
+            std::hint::black_box(attack.craft_batch(&model, &images, &labels, eps, &base));
+        });
+        std::env::remove_var("AXDNN_THREADS");
+        let batched_par_ms = median_ms(reps, || {
+            std::hint::black_box(attack.craft_batch(&model, &images, &labels, eps, &base));
+        });
+        std::env::set_var("AXDNN_THREADS", "1");
+        rows.push(Row {
+            attack: attack.name(),
+            scalar_ms,
+            batched_ms,
+            batched_par_ms,
+        });
+    }
+
+    std::env::remove_var("AXDNN_THREADS");
+    let threads = parallel::num_threads();
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"attack_crafting\",\n");
+    json.push_str("  \"model\": \"lenet5-1x28\",\n");
+    json.push_str(&format!("  \"images\": {n_images},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"eps\": 0.1,\n");
+    json.push_str(&format!("  \"parallel_threads\": {threads},\n"));
+    json.push_str("  \"units\": \"ms_per_set_median\",\n");
+    json.push_str("  \"results\": [\n");
+    let mut text = format!(
+        "# Attack crafting: scalar vs batched ({n_images} images, LeNet-5)\n\n\
+         | attack | scalar ms | batched ms (1 thread) | speedup | batched ms ({threads} threads) |\n\
+         |---|---|---|---|---|\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.scalar_ms / r.batched_ms;
+        json.push_str(&format!(
+            "    {{\"attack\": \"{}\", \"scalar_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.3}, \"batched_parallel_ms\": {:.3}}}{}\n",
+            r.attack,
+            r.scalar_ms,
+            r.batched_ms,
+            speedup,
+            r.batched_par_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+        text.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.2}x | {:.2} |\n",
+            r.attack, r.scalar_ms, r.batched_ms, speedup, r.batched_par_ms
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_attacks.json", &json).expect("write BENCH_attacks.json");
+    eprintln!("[saved BENCH_attacks.json]");
+    bench::emit("bench_attacks", &text);
+
+    let slow = rows
+        .iter()
+        .filter(|r| r.attack.starts_with("BIM") || r.attack.starts_with("PGD"))
+        .filter(|r| r.batched_ms >= r.scalar_ms)
+        .map(|r| r.attack.clone())
+        .collect::<Vec<_>>();
+    if !slow.is_empty() {
+        eprintln!("warning: batched crafting not faster for {slow:?}");
+    }
+}

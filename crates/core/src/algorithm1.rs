@@ -3,8 +3,11 @@
 //!
 //! The [`eval`](crate::eval) module implements the same computation in a
 //! vectorized, multiplier-batched layout; this module keeps the paper's
-//! original control flow (outer loop over budgets, inner loop over the
-//! test set, one victim at a time) for fidelity, and the tests pin both
+//! outer structure (loop over budgets, one victim at a time) for
+//! fidelity while running each budget's inner loop on the batched
+//! engines — crafting the whole test set in one
+//! [`axattack::Attack::craft_batch`] call and scoring it in one
+//! [`axquant::QPlan`] batch pass — and the tests pin both
 //! implementations to each other.
 
 use axattack::suite::AttackId;
@@ -76,41 +79,32 @@ pub fn evaluate_robustness(
         .collect();
     let qmdl =
         QuantModel::from_float_with_level(model, &calib, Placement::ConvOnly, inputs.qlevel)?;
-    // Compile the victim's execution plan once; the per-image loop below
-    // keeps the paper's control flow but reuses plan + scratch buffers.
+    // Compile the victim's execution plan once and reuse it per budget.
     let qplan = qmdl.plan(inputs.data.image(0).dims());
-    let mut scratch = qplan.scratch_for(1);
     let attack = inputs.attack.build();
+    let images: Vec<_> = (0..size).map(|k| inputs.data.image(k).clone()).collect();
+    let labels: Vec<usize> = (0..size).map(|k| inputs.data.label(k)).collect();
 
     let mut robustness = Vec::with_capacity(inputs.eps.len());
     // Line 3: for j = 1 : length(eps)
     for (j, &eps) in inputs.eps.iter().enumerate() {
-        // Line 4: adv = 0
-        let mut adv = 0usize;
-        // Line 5: for k = 1 : size(D)
-        for k in 0..size {
-            // Line 6: adversarial example generation with the accurate
-            // multiplier (float model = accurate-multiplier inference).
-            let mut rng = Rng::seed_from_u64(inputs.seed)
-                .derive(k as u64 ^ ((eps.to_bits() as u64) << 20) ^ ((j as u64) << 52));
-            let x_adv = attack.craft(
-                model,
-                inputs.data.image(k),
-                inputs.data.label(k),
-                eps,
-                &mut rng,
-            );
-            // Line 8: adversarial attack on the quantized model with the
-            // victim's multiplier.
-            let predicted = qplan
-                .forward_one(&mut scratch, &x_adv, inputs.mult)
-                .argmax();
-            // Lines 9-13: count successful misclassifications.
-            if predicted != inputs.data.label(k) {
-                adv += 1;
-            }
-        }
-        // Line 15: R_levels(eps(j)) = (1 - adv / size(D)) * 100.
+        // Line 6 (hoisted over line 5's loop): adversarial example
+        // generation with the accurate multiplier (float model =
+        // accurate-multiplier inference), batched over the test set with
+        // one derived base stream per (seed, eps, j) cell.
+        let base = Rng::seed_from_u64(inputs.seed)
+            .derive(((eps.to_bits() as u64) << 20) ^ ((j as u64) << 52));
+        let advs = attack.craft_batch(model, &images, &labels, eps, &base);
+        // Line 8: adversarial attack on the quantized model with the
+        // victim's multiplier, one batched pass over the crafted set.
+        let preds = qplan.predict_batch_indexed(size, |k| &advs[k], &[inputs.mult]);
+        // Lines 9-13 and 15: count misclassifications and compute
+        // R_levels(eps(j)) = (1 - adv / size(D)) * 100.
+        let adv = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(row, &label)| row[0] != label)
+            .count();
         robustness.push((1.0 - adv as f32 / size as f32) * 100.0);
     }
     Ok(RobustnessLevels {

@@ -19,7 +19,7 @@ use axmul::{MulKernel, MulLut};
 use axnn::Sequential;
 use axquant::QuantModel;
 use axtensor::Tensor;
-use axutil::{parallel, rng::Rng};
+use axutil::rng::Rng;
 
 use crate::grid::RobustnessGrid;
 
@@ -50,8 +50,11 @@ pub fn paper_eps_grid() -> Vec<f32> {
     vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0, 1.5, 2.0]
 }
 
-/// Crafts the adversarial test set for one `(attack, eps)` cell, in
-/// parallel over images. Deterministic given `seed`.
+/// Crafts the adversarial test set for one `(attack, eps)` cell in one
+/// batched [`axattack::Attack::craft_batch`] pass (the gradient attacks
+/// step whole thread chunks on a single compiled plan). Deterministic
+/// given `seed`, and independent of how the batch is chunked across
+/// threads.
 pub fn craft_adversarial_set(
     source: &Sequential,
     attack_id: AttackId,
@@ -62,13 +65,16 @@ pub fn craft_adversarial_set(
 ) -> Vec<(Tensor, usize)> {
     let attack = attack_id.build();
     let n = n.min(data.len());
-    parallel::par_map(n, |i| {
-        let mut rng = Rng::seed_from_u64(seed).derive(i as u64 ^ (eps.to_bits() as u64) << 20);
-        (
-            attack.craft(source, data.image(i), data.label(i), eps, &mut rng),
-            data.label(i),
-        )
-    })
+    let images: Vec<Tensor> = (0..n).map(|i| data.image(i).clone()).collect();
+    let labels: Vec<usize> = (0..n).map(|i| data.label(i)).collect();
+    // One base stream per (seed, eps) cell; `craft_batch` derives the
+    // per-image streams from it.
+    let base = Rng::seed_from_u64(seed).derive((eps.to_bits() as u64) << 20);
+    attack
+        .craft_batch(source, &images, &labels, eps, &base)
+        .into_iter()
+        .zip(labels)
+        .collect()
 }
 
 /// Accuracy of one victim/kernel pair on a crafted adversarial set.

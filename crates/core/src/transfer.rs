@@ -11,6 +11,7 @@ use axdata::Dataset;
 use axmul::MulLut;
 use axnn::Sequential;
 use axquant::QuantModel;
+use axtensor::Tensor;
 
 use crate::eval::{adversarial_accuracy, craft_adversarial_set};
 
@@ -95,7 +96,10 @@ impl TransferTable {
 ///
 /// For each victim, `before` is its accuracy on the clean test set and
 /// `after` its accuracy on adversarial examples crafted on the source
-/// model over the *same* examples.
+/// model over the *same* examples. Crafting (batched per set) only
+/// depends on the source model and the victim's dataset, so victims
+/// sharing a test set — the paper's Table II layout — share one crafted
+/// set per source instead of re-crafting per cell.
 pub fn transferability(
     sources: &[TransferSource<'_>],
     victims: &[TransferVictim<'_>],
@@ -106,12 +110,23 @@ pub fn transferability(
 ) -> TransferTable {
     let mut cells = Vec::with_capacity(sources.len());
     for source in sources {
+        // Crafted sets for this source, keyed by victim dataset identity.
+        let mut crafted: Vec<(*const Dataset, Vec<(Tensor, usize)>)> = Vec::new();
         let mut row = Vec::with_capacity(victims.len());
         for victim in victims {
             let n = n_examples.min(victim.data.len());
             let before = victim.qmodel.accuracy_with(victim.data, victim.mult, n);
-            let advs = craft_adversarial_set(source.model, attack, victim.data, eps, n, seed);
-            let after = adversarial_accuracy(victim.qmodel, victim.mult, &advs);
+            let key = victim.data as *const Dataset;
+            let idx = match crafted.iter().position(|(k, _)| *k == key) {
+                Some(idx) => idx,
+                None => {
+                    let advs =
+                        craft_adversarial_set(source.model, attack, victim.data, eps, n, seed);
+                    crafted.push((key, advs));
+                    crafted.len() - 1
+                }
+            };
+            let after = adversarial_accuracy(victim.qmodel, victim.mult, &crafted[idx].1);
             row.push(TransferCell { before, after });
         }
         cells.push(row);
