@@ -17,8 +17,12 @@
 //! * [`model`] — [`model::Sequential`] composition, prediction
 //!   and accuracy evaluation.
 //! * [`init`] / [`optim`] / [`train`] — He initialization, SGD with
-//!   momentum and a deterministic mini-batch training loop (batch
-//!   gradients are accumulated in parallel via `axutil::parallel`).
+//!   momentum and a deterministic mini-batch training loop riding the
+//!   batched engine: every minibatch runs through
+//!   [`plan::FPlan::loss_and_param_grads_batch`] (one plan, one training
+//!   scratch per thread chunk), with per-example gradients reduced in a
+//!   fixed order so trained weights are bit-identical for any
+//!   `AXDNN_THREADS` setting.
 //! * [`zoo`] — the paper's architectures: LeNet-5, a 5-conv/3-pool/2-FC
 //!   AlexNet-mini, and the motivational-study FFNN.
 //! * [`serialize`] — explicit binary weight artifacts (see
@@ -58,4 +62,4 @@ pub mod zoo;
 
 pub use layer::Layer;
 pub use model::Sequential;
-pub use plan::{FPlan, FScratch};
+pub use plan::{BackwardTables, FPlan, FScratch};

@@ -2,7 +2,6 @@
 
 use axdata::Dataset;
 use axtensor::Tensor;
-use axutil::parallel;
 
 use crate::layer::Layer;
 
@@ -181,8 +180,36 @@ impl Sequential {
         if images.is_empty() {
             return Vec::new();
         }
+        assert_uniform_shape(images);
         let plan = self.plan(images[0].dims());
         plan.input_gradient_batch_indexed(images.len(), |i| &images[i], |i| labels[i])
+    }
+
+    /// Summed cross-entropy loss and parameter gradients over a whole
+    /// minibatch, on the batched engine: one compiled plan, threads work
+    /// contiguous image chunks with one training scratch each, per-image
+    /// gradients reduced in a fixed left-to-right image order. The sum is
+    /// bit-identical to the per-image [`Sequential::loss_and_grads`] fold
+    /// for any thread chunking (see
+    /// [`crate::plan::FPlan::loss_and_param_grads_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, a length mismatch, or images that do not
+    /// share one shape.
+    pub fn loss_and_param_grads_batch(
+        &self,
+        images: &[Tensor],
+        labels: &[usize],
+    ) -> (f32, GradBuffer) {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(
+            !images.is_empty(),
+            "loss_and_param_grads_batch needs a non-empty batch"
+        );
+        assert_uniform_shape(images);
+        let plan = self.plan(images[0].dims());
+        plan.loss_and_param_grads_batch(images.len(), |i| &images[i], |i| labels[i])
     }
 
     /// Applies a gradient step: `param -= lr * grad` (plain SGD; momentum
@@ -212,14 +239,7 @@ impl Sequential {
             data.len()
         );
         let plan = self.plan(data.image(0).dims());
-        let correct: usize = parallel::par_map_chunks(n, |range| {
-            let mut scratch = plan.scratch();
-            range
-                .map(|i| usize::from(plan.predict(&mut scratch, data.image(i)) == data.label(i)))
-                .collect()
-        })
-        .into_iter()
-        .sum();
+        let correct = plan.count_correct(n, |i| data.image(i), |i| data.label(i));
         correct as f32 / n as f32
     }
 
@@ -231,6 +251,22 @@ impl Sequential {
             out.push_str(&format!("  {i:2}: {:8} {:>8} params\n", layer.kind(), p));
         }
         out
+    }
+}
+
+/// Asserts every image shares the first image's shape. The batch entry
+/// points compile one plan from `images[0]` and the plan only checks
+/// flattened lengths, so a same-length/different-shape image would
+/// otherwise silently run under image 0's geometry instead of panicking
+/// like the per-image path.
+fn assert_uniform_shape(images: &[Tensor]) {
+    let dims = images[0].dims();
+    for (i, img) in images.iter().enumerate().skip(1) {
+        assert_eq!(
+            img.dims(),
+            dims,
+            "batch image {i} does not share the batch shape"
+        );
     }
 }
 
@@ -341,6 +377,16 @@ mod tests {
             }
         }
         assert!(acc.l2_norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch shape")]
+    fn mixed_shape_batch_is_rejected() {
+        let m = tiny_model(11);
+        // Same flattened length, different shape: must panic instead of
+        // silently running image 1 under image 0's geometry.
+        let images = vec![Tensor::zeros(&[4]), Tensor::zeros(&[2, 2])];
+        let _ = m.loss_and_param_grads_batch(&images, &[0, 1]);
     }
 
     #[test]

@@ -62,6 +62,23 @@ impl Sgd {
     ///
     /// Panics if `grads` layout does not match the model.
     pub fn step(&mut self, model: &mut Sequential, grads: &GradBuffer) {
+        self.step_scaled(model, grads, 1.0);
+    }
+
+    /// Like [`Sgd::step`], but updates from `scale * grads` without
+    /// materializing the scaled buffer: `v = m*v + g*scale + wd*p;
+    /// p -= lr * v`.
+    ///
+    /// `g * scale` rounds once either way, so this is bit-identical to
+    /// `grads.scale(scale)` followed by [`Sgd::step`] — the training loop
+    /// uses it to turn the batched engine's *summed* gradients into a
+    /// mean update (`scale = 1/n`) without an extra pass over every
+    /// parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` layout does not match the model.
+    pub fn step_scaled(&mut self, model: &mut Sequential, grads: &GradBuffer, scale: f32) {
         assert_eq!(grads.layers.len(), self.velocity.len(), "layout mismatch");
         let lr = self.lr;
         let m = self.momentum;
@@ -76,7 +93,7 @@ impl Sgd {
             assert_eq!(params.len(), layer_g.len(), "param count mismatch");
             for ((p, v), g) in params.into_iter().zip(layer_v.iter_mut()).zip(layer_g) {
                 for ((pv, vv), &gv) in p.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
-                    *vv = m * *vv + gv + wd * *pv;
+                    *vv = m * *vv + gv * scale + wd * *pv;
                     *pv -= lr * *vv;
                 }
             }
@@ -162,5 +179,23 @@ mod tests {
     fn zero_lr_rejected() {
         let (model, _) = setup();
         let _ = Sgd::new(&model, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn step_scaled_equals_scale_then_step() {
+        let (model, x) = setup();
+        let (_, grads) = model.loss_and_grads(&x, 1);
+        let scale = 1.0 / 7.0f32;
+        // Path A: pre-scale the buffer, then plain step.
+        let mut ma = model.clone();
+        let mut oa = Sgd::new(&ma, 0.05, 0.9, 1e-4);
+        let mut scaled = grads.clone();
+        scaled.scale(scale);
+        oa.step(&mut ma, &scaled);
+        // Path B: fused step_scaled on the raw sum.
+        let mut mb = model.clone();
+        let mut ob = Sgd::new(&mb, 0.05, 0.9, 1e-4);
+        ob.step_scaled(&mut mb, &grads, scale);
+        assert_eq!(ma, mb, "fused scaling must be bit-identical");
     }
 }

@@ -19,6 +19,20 @@
 //! chunked over threads via [`axutil::parallel::par_map_chunks`] with one
 //! scratch per chunk — the engine `axattack`'s batched crafting steps on.
 //!
+//! Training rides the same engine through
+//! [`FPlan::loss_and_param_grads_batch`]: a whole minibatch runs on one
+//! plan with one *training* scratch per thread chunk
+//! ([`FPlan::train_scratch`] additionally stores each conv layer's
+//! forward im2col patches so the parameter-gradient backward reuses them
+//! instead of re-extracting), and the per-image gradients are reduced in
+//! a fixed left-to-right image order — the summed [`GradBuffer`] is
+//! bit-identical to the seed per-image [`Sequential::loss_and_grads`]
+//! fold for **any** thread chunking. Because a plan pre-transposes the
+//! current weights, optimizers must recompile it after every update;
+//! [`BackwardTables`] lets the geometry-only backward gather tables
+//! survive those recompiles ([`crate::train::fit`] holds one across all
+//! epochs).
+//!
 //! ```
 //! use axnn::zoo;
 //! use axtensor::Tensor;
@@ -35,7 +49,7 @@
 //! assert_eq!(model.input_gradient(&x, 3), (loss, grad));
 //! ```
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use axtensor::Tensor;
 use axutil::parallel;
@@ -69,8 +83,10 @@ enum FStep<'m> {
         /// ([`exec::build_grad_gather`]), built by
         /// [`FPlan::prepare_backward`]. Batch entry points build it once
         /// and amortize it across all images and steps; one-shot wrapper
-        /// calls skip it and use the direct gather instead.
-        gather: OnceLock<Vec<i32>>,
+        /// calls skip it and use the direct gather instead. `Arc` so the
+        /// geometry-only table outlives the plan via [`BackwardTables`]
+        /// and survives the per-optimizer-step recompiles of training.
+        gather: OnceLock<Arc<Vec<i32>>>,
         /// Input positions (`h * w`) = backward GEMM rows.
         bwd_rows: usize,
         /// Gradient-patch width (`out_c * k * k`) = backward GEMM columns.
@@ -119,13 +135,48 @@ pub struct FPlan<'m> {
 /// Reusable buffers for executing an [`FPlan`]: the forward tape (one
 /// activation buffer per layer input plus the logits), the shared im2col
 /// patch buffer and a gradient ping-pong pair. Build one per thread with
-/// [`FPlan::scratch`] and reuse it across images and attack steps.
+/// [`FPlan::scratch`] (or [`FPlan::train_scratch`] for parameter-gradient
+/// loops) and reuse it across images and attack steps.
 #[derive(Debug)]
 pub struct FScratch {
     /// `acts[i]` is the input to step `i`; `acts.last()` holds the logits.
     acts: Vec<Vec<f32>>,
     patch: Vec<f32>,
     grad: [Vec<f32>; 2],
+    /// Per-step forward im2col patches (empty for non-conv steps, and
+    /// empty overall for a plain [`FPlan::scratch`]). When present, the
+    /// forward pass writes each conv layer's patches here and the
+    /// parameter-gradient backward reads them back instead of re-running
+    /// `im2col` — identical bytes, one extraction instead of two.
+    fwd_patches: Vec<Vec<f32>>,
+}
+
+/// The geometry of one conv step's backward gather table — the full key
+/// [`exec::build_grad_gather`] is a function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GatherKey {
+    out_dims: [usize; 3],
+    in_hw: [usize; 2],
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+/// Backward gather-index tables lifted out of a compiled [`FPlan`],
+/// re-installable into any later plan with identical conv geometry.
+///
+/// The tables depend only on layer geometry — never on weights — but a
+/// plan itself borrows the model and pre-transposes its *current*
+/// weights, so training loops must recompile the plan after every
+/// optimizer step. Extracting the tables once
+/// ([`FPlan::backward_tables`]) and installing them into each fresh plan
+/// ([`FPlan::install_backward_tables`]) keeps the per-step recompile down
+/// to shape arithmetic plus the weight transpose. Cloning is cheap (the
+/// tables are shared via [`Arc`]).
+#[derive(Debug, Clone, Default)]
+pub struct BackwardTables {
+    /// One entry per conv step, in step order.
+    entries: Vec<(GatherKey, Arc<Vec<i32>>)>,
 }
 
 impl Sequential {
@@ -292,10 +343,83 @@ impl<'m> FPlan<'m> {
             } = step
             {
                 gather.get_or_init(|| {
-                    exec::build_grad_gather(*out_dims, [in_dims[1], in_dims[2]], *k, *stride, *pad)
+                    Arc::new(exec::build_grad_gather(
+                        *out_dims,
+                        [in_dims[1], in_dims[2]],
+                        *k,
+                        *stride,
+                        *pad,
+                    ))
                 });
             }
         }
+    }
+
+    /// Builds (if necessary) and extracts every conv layer's backward
+    /// gather table, keyed by its geometry, for reuse across plan
+    /// recompiles — see [`BackwardTables`].
+    pub fn backward_tables(&self) -> BackwardTables {
+        self.prepare_backward();
+        BackwardTables {
+            entries: self
+                .conv_gather_slots()
+                .map(|(key, gather)| {
+                    let table = gather.get().expect("prepare_backward ran").clone();
+                    (key, table)
+                })
+                .collect(),
+        }
+    }
+
+    /// Installs gather tables extracted from a geometrically identical
+    /// plan (same conv layers, shapes, strides and padding), making
+    /// [`FPlan::prepare_backward`] a no-op. Idempotent; slots that are
+    /// already initialized keep their table (the bytes are equal either
+    /// way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` came from a plan with different conv geometry.
+    pub fn install_backward_tables(&self, tables: &BackwardTables) {
+        let slots: Vec<_> = self.conv_gather_slots().collect();
+        assert_eq!(
+            slots.len(),
+            tables.entries.len(),
+            "conv step count mismatch"
+        );
+        for ((key, gather), (t_key, table)) in slots.into_iter().zip(&tables.entries) {
+            assert_eq!(key, *t_key, "conv geometry mismatch");
+            gather.get_or_init(|| table.clone());
+        }
+    }
+
+    /// Every conv step's gather slot with its geometry key, in step order.
+    fn conv_gather_slots(&self) -> impl Iterator<Item = (GatherKey, &OnceLock<Arc<Vec<i32>>>)> {
+        self.steps.iter().filter_map(|step| {
+            if let FStep::Conv {
+                in_dims,
+                k,
+                stride,
+                pad,
+                out_dims,
+                gather,
+                ..
+            } = step
+            {
+                Some((
+                    GatherKey {
+                        out_dims: *out_dims,
+                        in_hw: [in_dims[1], in_dims[2]],
+                        k: *k,
+                        stride: *stride,
+                        pad: *pad,
+                    },
+                    gather,
+                ))
+            } else {
+                None
+            }
+        })
     }
 
     /// Allocates the scratch buffers (forward tape, im2col patch and
@@ -307,7 +431,28 @@ impl<'m> FPlan<'m> {
             acts,
             patch: vec![0.0f32; self.max_patch],
             grad: [vec![0.0f32; self.max_act], vec![0.0f32; self.max_act]],
+            fwd_patches: Vec::new(),
         }
+    }
+
+    /// Like [`FPlan::scratch`], plus one forward-patch buffer per conv
+    /// layer: the forward pass stores every conv layer's im2col patches
+    /// so the parameter-gradient backward reuses them instead of
+    /// re-extracting. Identical results either way — the stored buffer
+    /// holds exactly the bytes the recomputation would produce — at the
+    /// cost of the summed conv patch footprint, so use this for training
+    /// loops and [`FPlan::scratch`] for input-gradient work.
+    pub fn train_scratch(&self) -> FScratch {
+        let mut s = self.scratch();
+        s.fwd_patches = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                FStep::Conv { rows, cols, .. } => vec![0.0f32; rows * cols],
+                _ => Vec::new(),
+            })
+            .collect();
+        s
     }
 
     /// Runs the forward pass, recording every layer input in the tape.
@@ -318,7 +463,12 @@ impl<'m> FPlan<'m> {
             self.in_len,
             "input does not match the planned shape"
         );
-        let FScratch { acts, patch, .. } = s;
+        let FScratch {
+            acts,
+            patch,
+            fwd_patches,
+            ..
+        } = s;
         acts[0][..self.in_len].copy_from_slice(x.data());
         for (i, step) in self.steps.iter().enumerate() {
             let (head, tail) = acts.split_at_mut(i + 1);
@@ -336,8 +486,16 @@ impl<'m> FPlan<'m> {
                     cols,
                     ..
                 } => {
-                    exec::im2col(src, in_dims, k, stride, pad, rows, cols, patch);
-                    exec::conv_forward(w.data(), b.data(), patch, rows, cols, dst);
+                    // Training scratches keep this layer's patches for the
+                    // parameter-gradient backward; plain scratches share
+                    // one buffer across layers.
+                    let pbuf: &mut Vec<f32> = if fwd_patches.is_empty() {
+                        patch
+                    } else {
+                        &mut fwd_patches[i]
+                    };
+                    exec::im2col(src, in_dims, k, stride, pad, rows, cols, pbuf);
+                    exec::conv_forward(w.data(), b.data(), pbuf, rows, cols, dst);
                 }
                 FStep::Dense { w, b, in_dim, .. } => {
                     exec::dense_forward(w.data(), b.data(), &src[..in_dim], dst);
@@ -381,7 +539,12 @@ impl<'m> FPlan<'m> {
     ) -> (f32, usize) {
         let logits = Tensor::from_vec(self.logits(s).to_vec(), &[self.out_len]);
         let (loss, dlogits) = cross_entropy_with_grad(&logits, target);
-        let FScratch { acts, patch, grad } = s;
+        let FScratch {
+            acts,
+            patch,
+            grad,
+            fwd_patches,
+        } = s;
         let mut side = 0usize;
         grad[side][..self.out_len].copy_from_slice(dlogits.data());
         for (i, step) in self.steps.iter().enumerate().rev() {
@@ -406,12 +569,19 @@ impl<'m> FPlan<'m> {
                     let g = &gsrc[..out_dims.iter().product::<usize>()];
                     if let Some(buf) = buf.as_deref_mut() {
                         // Parameter grads read the *forward* patches of
-                        // this layer's input, recomputed on demand.
-                        exec::im2col(&x[..in_len], in_dims, k, stride, pad, rows, cols, patch);
+                        // this layer's input: straight off the training
+                        // scratch's tape when present, recomputed on
+                        // demand otherwise (same bytes either way).
+                        let fp: &[f32] = if fwd_patches.is_empty() {
+                            exec::im2col(&x[..in_len], in_dims, k, stride, pad, rows, cols, patch);
+                            patch
+                        } else {
+                            &fwd_patches[i]
+                        };
                         let (wg, bg) = buf.layers[i].split_at_mut(1);
                         exec::conv_backward_params(
                             g,
-                            patch,
+                            fp,
                             rows,
                             cols,
                             wg[0].data_mut(),
@@ -480,11 +650,7 @@ impl<'m> FPlan<'m> {
     /// Bit-compatible with the seed [`Sequential::loss_and_grads`] path.
     pub fn loss_and_grads(&self, s: &mut FScratch, x: &Tensor, target: usize) -> (f32, GradBuffer) {
         self.run_forward(s, x);
-        let mut buf = GradBuffer {
-            layers: (0..self.steps.len())
-                .map(|i| self.zero_layer_grads(i))
-                .collect(),
-        };
+        let mut buf = self.zero_grads();
         let (loss, _) = self.run_backward(s, target, Some(&mut buf));
         (loss, buf)
     }
@@ -520,6 +686,101 @@ impl<'m> FPlan<'m> {
                 .map(|i| self.input_gradient(&mut s, image(i), label(i)))
                 .collect()
         })
+    }
+
+    /// Correct-prediction count over `n` examples in parallel image
+    /// chunks with one scratch per chunk — the shared core behind
+    /// [`Sequential::accuracy`] and [`crate::train::eval_on`].
+    pub fn count_correct<'a, F, G>(&self, n: usize, image: F, label: G) -> usize
+    where
+        F: Fn(usize) -> &'a Tensor + Sync,
+        G: Fn(usize) -> usize + Sync,
+    {
+        parallel::par_map_chunks(n, |range| {
+            let mut s = self.scratch();
+            range
+                .map(|i| usize::from(self.predict(&mut s, image(i)) == label(i)))
+                .collect()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Summed cross-entropy loss and parameter gradients over a whole
+    /// minibatch — the training hot path.
+    ///
+    /// The batch is split into contiguous image chunks over threads
+    /// ([`axutil::parallel::par_map_chunks`]); each chunk runs on one
+    /// [`FPlan::train_scratch`] (forward tape and conv patches reused
+    /// across its images). The per-image gradients are then reduced in a
+    /// fixed left-to-right image order into one [`GradBuffer`], so the
+    /// sum — and the summed loss — is **bit-identical** to the seed
+    /// per-image fold
+    /// `for i { loss += l_i; grads.accumulate(&g_i) }` regardless of how
+    /// the work is chunked: chunk results are concatenated in index
+    /// order before the reduction, because a chunk-level pre-sum would
+    /// tie the float accumulation order to the thread count. (When the
+    /// whole batch runs as one chunk the fold happens inline — the
+    /// serial fold *is* the reference order — so each per-image gradient
+    /// is accumulated and freed immediately instead of all `n` being
+    /// buffered until the fold.)
+    ///
+    /// Callers wanting the *mean* divide by `n` afterwards, exactly like
+    /// the seed loop ([`crate::train::batch_gradient`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch — a zero gradient there would silently
+    /// stall training, matching the non-empty conventions of
+    /// [`Sequential::accuracy`].
+    pub fn loss_and_param_grads_batch<'a, F, G>(
+        &self,
+        n: usize,
+        image: F,
+        label: G,
+    ) -> (f32, GradBuffer)
+    where
+        F: Fn(usize) -> &'a Tensor + Sync,
+        G: Fn(usize) -> usize + Sync,
+    {
+        assert!(n > 0, "loss_and_param_grads_batch needs a non-empty batch");
+        self.prepare_backward();
+        if parallel::num_threads().min(n) <= 1 {
+            // One chunk: fold as we go — this is exactly the reference
+            // image-order reduction, without buffering per-image grads.
+            let mut s = self.train_scratch();
+            let mut loss = 0.0f32;
+            let mut grads = self.zero_grads();
+            for i in 0..n {
+                let (l, g) = self.loss_and_grads(&mut s, image(i), label(i));
+                loss += l;
+                grads.accumulate(&g);
+            }
+            return (loss, grads);
+        }
+        let per_image: Vec<(f32, GradBuffer)> = parallel::par_map_chunks(n, |range| {
+            let mut s = self.train_scratch();
+            range
+                .map(|i| self.loss_and_grads(&mut s, image(i), label(i)))
+                .collect()
+        });
+        let mut loss = 0.0f32;
+        let mut grads = self.zero_grads();
+        for (l, g) in &per_image {
+            loss += l;
+            grads.accumulate(g);
+        }
+        (loss, grads)
+    }
+
+    /// Zero gradients shaped like the planned model's parameters (the
+    /// same layout as [`Sequential::zero_grads`]).
+    pub fn zero_grads(&self) -> GradBuffer {
+        GradBuffer {
+            layers: (0..self.steps.len())
+                .map(|i| self.zero_layer_grads(i))
+                .collect(),
+        }
     }
 }
 
@@ -689,5 +950,83 @@ mod tests {
         let plan = model.plan(&[1, 28, 28]);
         let mut s = plan.scratch();
         let _ = plan.forward(&mut s, &Tensor::zeros(&[1, 8, 8]));
+    }
+
+    #[test]
+    fn train_scratch_matches_plain_scratch_bit_for_bit() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(40));
+        let plan = model.plan(&[1, 28, 28]);
+        let mut plain = plan.scratch();
+        let mut train = plan.train_scratch();
+        for seed in 0..3 {
+            let x = rand_image(&[1, 28, 28], 50 + seed);
+            let target = seed as usize % 10;
+            assert_eq!(
+                plan.loss_and_grads(&mut train, &x, target),
+                plan.loss_and_grads(&mut plain, &x, target),
+            );
+            assert_eq!(
+                plan.input_gradient(&mut train, &x, target),
+                plan.input_gradient(&mut plain, &x, target),
+            );
+        }
+    }
+
+    #[test]
+    fn backward_tables_survive_a_recompile() {
+        let mut model = zoo::lenet5(&mut Rng::seed_from_u64(41));
+        let x = rand_image(&[1, 28, 28], 42);
+        let tables = model.plan(&[1, 28, 28]).backward_tables();
+        // Change the weights (as an optimizer step would), recompile, and
+        // install the cached tables: the indexed backward must equal the
+        // direct gather of a table-less plan on the new weights.
+        for layer in model.layers_mut() {
+            for p in layer.params_mut() {
+                p.map_inplace(|v| v * 0.5 + 0.01);
+            }
+        }
+        let plan = model.plan(&[1, 28, 28]);
+        plan.install_backward_tables(&tables);
+        let mut s = plan.train_scratch();
+        let got = plan.loss_and_grads(&mut s, &x, 6);
+        let fresh = model.plan(&[1, 28, 28]);
+        let mut fs = fresh.scratch();
+        assert_eq!(got, fresh.loss_and_grads(&mut fs, &x, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn backward_tables_reject_mismatched_geometry() {
+        let lenet = zoo::lenet5(&mut Rng::seed_from_u64(43));
+        let tables = lenet.plan(&[1, 28, 28]).backward_tables();
+        let other = zoo::lenet5_for(1, 32, &mut Rng::seed_from_u64(44));
+        other.plan(&[1, 32, 32]).install_backward_tables(&tables);
+    }
+
+    #[test]
+    fn batched_param_grads_match_serial_fold() {
+        let model = zoo::lenet5(&mut Rng::seed_from_u64(45));
+        let images: Vec<Tensor> = (0..5).map(|i| rand_image(&[1, 28, 28], 60 + i)).collect();
+        let labels: Vec<usize> = (0..5).map(|i| (i * 7) % 10).collect();
+        let plan = model.plan(&[1, 28, 28]);
+        let (loss, grads) =
+            plan.loss_and_param_grads_batch(images.len(), |i| &images[i], |i| labels[i]);
+        let mut want_loss = 0.0f32;
+        let mut want = model.zero_grads();
+        for (img, &lbl) in images.iter().zip(&labels) {
+            let (l, g) = model.loss_and_grads(img, lbl);
+            want_loss += l;
+            want.accumulate(&g);
+        }
+        assert_eq!(loss, want_loss);
+        assert_eq!(grads, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty batch")]
+    fn empty_param_grad_batch_is_rejected() {
+        let model = zoo::ffnn(&mut Rng::seed_from_u64(46));
+        let plan = model.plan(&[1, 28, 28]);
+        let _ = plan.loss_and_param_grads_batch(0, |_| unreachable!(), |_| unreachable!());
     }
 }

@@ -1,11 +1,28 @@
-//! Deterministic mini-batch training.
+//! Deterministic mini-batch training on the compiled plan engine.
+//!
+//! [`fit`] and [`batch_gradient`] are thin wrappers over
+//! [`FPlan::loss_and_param_grads_batch`](crate::plan::FPlan::loss_and_param_grads_batch):
+//! every minibatch runs through one compiled plan (one training scratch
+//! per thread chunk, forward tape and conv im2col patches reused across
+//! the chunk's images) instead of the seed's per-image
+//! `Sequential::loss_and_grads` calls. Per-image gradients are reduced in
+//! a fixed left-to-right image order, so the batch gradient — and
+//! therefore the whole [`TrainHistory`] and the trained weights — is
+//! bit-identical to the seed per-image loop for **any** `AXDNN_THREADS`
+//! setting (the seed `par_reduce` summed per-worker partials, which tied
+//! the float accumulation order to the thread count).
+//!
+//! A plan pre-transposes the current conv weights, so [`fit`] recompiles
+//! it after every optimizer step; the geometry-only backward gather
+//! tables are carried across those recompiles in a
+//! [`BackwardTables`] cache held for the whole run.
 
 use axdata::Dataset;
 use axtensor::Tensor;
-use axutil::parallel;
 
 use crate::model::{GradBuffer, Sequential};
 use crate::optim::Sgd;
+use crate::plan::BackwardTables;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,36 +69,48 @@ pub struct TrainHistory {
     pub accuracies: Vec<f32>,
 }
 
-/// Computes the mean gradient over a batch, parallelized over examples.
+/// Computes the mean gradient over a batch on the batched plan engine.
+///
+/// Thin wrapper over
+/// [`FPlan::loss_and_param_grads_batch`](crate::plan::FPlan::loss_and_param_grads_batch):
+/// one compiled plan, threads work contiguous example chunks with one
+/// training scratch each, and the mean is bit-identical to the seed
+/// per-example fold for any thread chunking.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty — a zero "mean" gradient there would
+/// silently stall training (matches the non-empty conventions of
+/// [`Sequential::accuracy`]).
 pub fn batch_gradient(model: &Sequential, data: &Dataset, indices: &[usize]) -> (f32, GradBuffer) {
-    let n = indices.len().max(1);
-    let (loss_sum, mut grads) = parallel::par_reduce(
-        indices.len(),
-        || (0.0f32, model.zero_grads()),
-        |(mut loss, mut buf), k| {
-            let i = indices[k];
-            let (l, g) = model.loss_and_grads(data.image(i), data.label(i));
-            loss += l;
-            buf.accumulate(&g);
-            (loss, buf)
-        },
-        |(la, mut ga), (lb, gb)| {
-            ga.accumulate(&gb);
-            (la + lb, ga)
-        },
+    assert!(
+        !indices.is_empty(),
+        "batch_gradient needs a non-empty batch"
     );
+    let n = indices.len();
+    let plan = model.plan(data.image(indices[0]).dims());
+    let (loss_sum, mut grads) =
+        plan.loss_and_param_grads_batch(n, |k| data.image(indices[k]), |k| data.label(indices[k]));
     grads.scale(1.0 / n as f32);
     (loss_sum / n as f32, grads)
 }
 
-/// Trains `model` on `data` with SGD + momentum.
+/// Trains `model` on `data` with SGD + momentum, every minibatch running
+/// through the batched plan engine.
 ///
-/// Deterministic: the same model, data, and config produce the same
-/// trained weights (batch gradients are summed in worker order, then the
-/// final reduction is a fixed left-to-right merge).
+/// Deterministic *and thread-invariant*: the same model, data and config
+/// produce bit-identical weights and [`TrainHistory`] for any
+/// `AXDNN_THREADS` setting, because per-example gradients are always
+/// reduced in example order (see the [module docs](self)).
+///
+/// The plan is recompiled after each optimizer step (it pre-transposes
+/// the current conv weights), but the geometry-only backward gather
+/// tables are built once and re-installed into every recompile.
 pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHistory {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let in_dims = data.image(0).dims().to_vec();
     let mut opt = Sgd::new(model, cfg.lr, cfg.momentum, cfg.weight_decay);
+    let mut tables: Option<BackwardTables> = None;
     let mut history = TrainHistory {
         losses: Vec::with_capacity(cfg.epochs),
         accuracies: Vec::with_capacity(cfg.epochs),
@@ -93,9 +122,23 @@ pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHi
         );
         let mut loss_acc = 0.0f64;
         for batch in &batches {
-            let (loss, grads) = batch_gradient(model, data, batch);
-            opt.step(model, &grads);
-            loss_acc += loss as f64;
+            let n = batch.len();
+            // The plan borrows the model, so it lives in a scope that
+            // ends before the optimizer mutates the weights.
+            let (loss_sum, grads) = {
+                let plan = model.plan(&in_dims);
+                match &tables {
+                    Some(t) => plan.install_backward_tables(t),
+                    None => tables = Some(plan.backward_tables()),
+                }
+                plan.loss_and_param_grads_batch(
+                    n,
+                    |k| data.image(batch[k]),
+                    |k| data.label(batch[k]),
+                )
+            };
+            opt.step_scaled(model, &grads, 1.0 / n as f32);
+            loss_acc += (loss_sum / n as f32) as f64;
         }
         let mean_loss = (loss_acc / batches.len() as f64) as f32;
         let acc = model.accuracy(data, 2000);
@@ -116,15 +159,23 @@ pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHi
     history
 }
 
-/// Convenience: evaluates accuracy on an explicit list of examples.
+/// Convenience: evaluates accuracy on an explicit list of examples, on
+/// the batched forward path (one compiled plan, one scratch per thread
+/// chunk). Returns `0.0` for an empty list.
+///
+/// # Panics
+///
+/// Panics if the examples do not share one input shape.
 pub fn eval_on(model: &Sequential, examples: &[(Tensor, usize)]) -> f32 {
     if examples.is_empty() {
         return 0.0;
     }
-    let correct = examples
-        .iter()
-        .filter(|(x, y)| model.predict(x) == *y)
-        .count();
+    let dims = examples[0].0.dims();
+    for (i, (x, _)) in examples.iter().enumerate().skip(1) {
+        assert_eq!(x.dims(), dims, "example {i} does not share the batch shape");
+    }
+    let plan = model.plan(dims);
+    let correct = plan.count_correct(examples.len(), |i| &examples[i].0, |i| examples[i].1);
     correct as f32 / examples.len() as f32
 }
 
@@ -224,6 +275,14 @@ mod tests {
                 assert!((va - vb).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty batch")]
+    fn empty_batch_gradient_is_rejected() {
+        let data = separable_dataset(4, 9);
+        let model = mlp(10);
+        let _ = batch_gradient(&model, &data, &[]);
     }
 
     #[test]

@@ -7,73 +7,13 @@
 //! kept as the reference implementation), and the batched gradient entry
 //! points must be bit-exact with per-image calls.
 
-use axnn::layer::{AvgPool2d, Conv2d, Dense, Layer};
 use axnn::loss::cross_entropy_with_grad;
 use axnn::model::{GradBuffer, Sequential};
 use axtensor::Tensor;
-use axutil::rng::Rng;
 use proptest::prelude::*;
 
-const IN_DIMS: [usize; 3] = [2, 8, 8];
-
-/// A small random model of one of four shapes that together cover every
-/// engine path: dense-only, conv without padding, conv+pad+avgpool, and
-/// a strided padded conv (the backward gather's hardest case).
-fn small_model(arch: usize, seed: u64) -> Sequential {
-    let rng = &mut Rng::seed_from_u64(seed);
-    match arch % 4 {
-        0 => Sequential::new(
-            "p-ffnn",
-            vec![
-                Layer::Flatten,
-                Layer::Dense(Dense::new(128, 16, rng)),
-                Layer::Relu,
-                Layer::Dense(Dense::new(16, 4, rng)),
-            ],
-        ),
-        1 => Sequential::new(
-            "p-conv",
-            vec![
-                Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 0, rng)),
-                Layer::Relu,
-                Layer::Flatten,
-                Layer::Dense(Dense::new(3 * 6 * 6, 4, rng)),
-            ],
-        ),
-        2 => Sequential::new(
-            "p-convpool",
-            vec![
-                Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 1, rng)),
-                Layer::Relu,
-                Layer::AvgPool(AvgPool2d::new(2)),
-                Layer::Conv2d(Conv2d::new(3, 2, 3, 1, 1, rng)),
-                Layer::Relu,
-                Layer::Flatten,
-                Layer::Dense(Dense::new(2 * 4 * 4, 4, rng)),
-            ],
-        ),
-        _ => Sequential::new(
-            "p-strided",
-            vec![
-                Layer::Conv2d(Conv2d::new(2, 3, 3, 2, 1, rng)),
-                Layer::Relu,
-                Layer::Flatten,
-                Layer::Dense(Dense::new(3 * 4 * 4, 4, rng)),
-            ],
-        ),
-    }
-}
-
-fn images(n: usize, seed: u64) -> Vec<Tensor> {
-    let mut rng = Rng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let mut t = Tensor::zeros(&IN_DIMS);
-            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
-            t
-        })
-        .collect()
-}
+mod common;
+use common::{images, small_model, IN_DIMS};
 
 /// The seed layer-by-layer forward: the reference path.
 fn seed_forward(m: &Sequential, x: &Tensor) -> Tensor {

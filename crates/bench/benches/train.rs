@@ -1,0 +1,59 @@
+//! Training-step cost: scalar per-image gradients vs the batched plan
+//! engine — the regression guard for `FPlan::loss_and_param_grads_batch`.
+//!
+//! "Scalar" is the seed shape of `train::batch_gradient`: one
+//! `Sequential::loss_and_grads` call per image (each compiling its own
+//! plan and scratch), folded in image order. "Batched" runs the same
+//! minibatch through one compiled plan with a per-chunk training scratch.
+//! Both produce bit-identical sums (pinned by `axnn/tests/prop_train`);
+//! only the cost may differ. The `bench_report` binary measures the
+//! paper-default configuration and writes `BENCH_train.json`.
+
+use axnn::zoo;
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn batch(n: usize, dims: &[usize], seed: u64) -> (Vec<Tensor>, Vec<usize>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let images = (0..n)
+        .map(|_| {
+            let mut t = Tensor::zeros(dims);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect();
+    let labels = (0..n).map(|i| i % 10).collect();
+    (images, labels)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let models = [
+        ("ffnn", zoo::ffnn(&mut Rng::seed_from_u64(1))),
+        ("lenet5", zoo::lenet5(&mut Rng::seed_from_u64(2))),
+    ];
+    let (images, labels) = batch(4, &[1, 28, 28], 3);
+    let mut group = c.benchmark_group("train_step");
+    for (tag, model) in &models {
+        group.bench_function(format!("{tag}_scalar_batch"), |b| {
+            b.iter(|| {
+                let mut loss = 0.0f32;
+                let mut grads = model.zero_grads();
+                for (img, &lbl) in images.iter().zip(&labels) {
+                    let (l, g) = model.loss_and_grads(black_box(img), lbl);
+                    loss += l;
+                    grads.accumulate(&g);
+                }
+                (loss, grads)
+            })
+        });
+        group.bench_function(format!("{tag}_batched_batch"), |b| {
+            b.iter(|| model.loss_and_param_grads_batch(black_box(&images), &labels))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,13 +1,17 @@
-//! The attack-crafting performance trajectory: scalar vs batched.
+//! The scalar-vs-batched performance trajectory: attack crafting and the
+//! training step.
 //!
-//! Crafts a small adversarial set on a LeNet-5-sized model both ways —
-//! per-image [`axattack::Attack::craft`] calls and one
+//! Part 1 crafts a small adversarial set on a LeNet-5-sized model both
+//! ways — per-image [`axattack::Attack::craft`] calls and one
 //! [`axattack::Attack::craft_batch`] pass — under `AXDNN_THREADS=1` so
 //! the comparison isolates the batching win (plan/scratch/tape reuse)
 //! from thread scaling, then re-times the batched path at the machine's
-//! parallelism. Writes `BENCH_attacks.json` into the current directory
-//! (the repo root in CI) and a human-readable copy into the artifacts
-//! directory.
+//! parallelism. Part 2 runs the same comparison for the training
+//! gradient: the seed per-image `Sequential::loss_and_grads` fold vs one
+//! `FPlan::loss_and_param_grads_batch` pass (bit-identical sums, pinned
+//! by `axnn/tests/prop_train`). Writes `BENCH_attacks.json` and
+//! `BENCH_train.json` into the current directory (the repo root in CI)
+//! and human-readable copies into the artifacts directory.
 //!
 //! Environment: `AXDNN_BENCH_IMAGES` (default 8) and `AXDNN_BENCH_REPS`
 //! (default 3) size the workload.
@@ -18,6 +22,7 @@ use axattack::gradient::{Bim, Fgm, Pgd};
 use axattack::norms::Norm;
 use axattack::Attack;
 use axnn::zoo;
+use axnn::Sequential;
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
@@ -159,4 +164,80 @@ fn main() {
     if !slow.is_empty() {
         eprintln!("warning: batched crafting not faster for {slow:?}");
     }
+
+    train_report(&images, &labels, n_images, reps, threads);
+}
+
+/// Part 2: one training gradient step, scalar vs batched, on the same
+/// LeNet-5-sized workload. Scalar is the seed shape (one
+/// `Sequential::loss_and_grads` per image — plan compiled per call —
+/// folded in image order); batched is one
+/// `Sequential::loss_and_param_grads_batch` pass. Writes
+/// `BENCH_train.json`.
+fn train_report(images: &[Tensor], labels: &[usize], n_images: usize, reps: usize, threads: usize) {
+    std::env::set_var("AXDNN_THREADS", "1");
+    let models = [
+        ("ffnn-1x28", zoo::ffnn(&mut Rng::seed_from_u64(7))),
+        ("lenet5-1x28", zoo::lenet5(&mut Rng::seed_from_u64(8))),
+    ];
+
+    let scalar_step = |model: &Sequential| {
+        let mut loss = 0.0f32;
+        let mut grads = model.zero_grads();
+        for (img, &lbl) in images.iter().zip(labels) {
+            let (l, g) = model.loss_and_grads(img, lbl);
+            loss += l;
+            grads.accumulate(&g);
+        }
+        (loss, grads)
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"train_step\",\n");
+    json.push_str(&format!("  \"images\": {n_images},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"parallel_threads\": {threads},\n"));
+    json.push_str("  \"units\": \"ms_per_batch_median\",\n");
+    json.push_str("  \"results\": [\n");
+    let mut text = format!(
+        "# Training gradient step: scalar vs batched ({n_images} images)\n\n\
+         | model | scalar ms | batched ms (1 thread) | speedup | batched ms ({threads} threads) |\n\
+         |---|---|---|---|---|\n"
+    );
+    for (m, (name, model)) in models.iter().enumerate() {
+        // Warm-up + correctness: both paths must agree bit-for-bit.
+        let want = scalar_step(model);
+        let got = model.loss_and_param_grads_batch(images, labels);
+        assert_eq!(want, got, "{name}: batched gradient diverged from scalar");
+
+        let scalar_ms = median_ms(reps, || {
+            std::hint::black_box(scalar_step(model));
+        });
+        let batched_ms = median_ms(reps, || {
+            std::hint::black_box(model.loss_and_param_grads_batch(images, labels));
+        });
+        std::env::remove_var("AXDNN_THREADS");
+        let batched_par_ms = median_ms(reps, || {
+            std::hint::black_box(model.loss_and_param_grads_batch(images, labels));
+        });
+        std::env::set_var("AXDNN_THREADS", "1");
+
+        let speedup = scalar_ms / batched_ms;
+        json.push_str(&format!(
+            "    {{\"model\": \"{name}\", \"scalar_ms\": {scalar_ms:.3}, \"batched_ms\": {batched_ms:.3}, \"speedup\": {speedup:.3}, \"batched_parallel_ms\": {batched_par_ms:.3}}}{}\n",
+            if m + 1 < models.len() { "," } else { "" },
+        ));
+        text.push_str(&format!(
+            "| {name} | {scalar_ms:.2} | {batched_ms:.2} | {speedup:.2}x | {batched_par_ms:.2} |\n"
+        ));
+        if batched_ms >= scalar_ms {
+            eprintln!("warning: batched train step not faster for {name}");
+        }
+    }
+    json.push_str("  ]\n}\n");
+    std::env::remove_var("AXDNN_THREADS");
+
+    std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
+    eprintln!("[saved BENCH_train.json]");
+    bench::emit("bench_train", &text);
 }
