@@ -2,10 +2,13 @@
 //!
 //! Figure binaries need five trained models (LeNet-5 and FFNN on
 //! synthetic MNIST, AlexNet-mini on synthetic CIFAR, plus the 32x32
-//! MNIST/CIFAR variants for the transferability table). Training is
-//! deterministic, so models are cached as `.axm` artifacts keyed by
-//! architecture, training-set size, epochs and seed; a second run of any
-//! experiment loads instead of retraining.
+//! MNIST/CIFAR variants for the transferability table). All of them go
+//! through [`axnn::train::fit`], i.e. the batched plan engine: training
+//! is deterministic *and thread-invariant* (bit-identical weights for
+//! any `AXDNN_THREADS`), so models are cached as `.axm` artifacts keyed
+//! by architecture, training-set size, epochs and seed; a second run of
+//! any experiment — on any machine parallelism — loads instead of
+//! retraining.
 
 use std::cell::OnceCell;
 use std::path::PathBuf;
