@@ -5,10 +5,18 @@
 //! *decision* to pick the first noise draw that flips the label
 //! (Foolbox's "repeated" semantics), and CR is a fixed deterministic
 //! perturbation toward mid-gray.
+//!
+//! RAG/RAU override [`Attack::craft_batch`]: a thread chunk compiles one
+//! [`axnn::plan::FPlan`] and scratch and scores every noise draw of the
+//! chunk's images through it, instead of paying a fresh plan per
+//! [`Sequential::predict`] call. Image `i` still draws from its own
+//! derived RNG stream, so the batch is bit-identical to the per-image
+//! [`Attack::craft`] loop for any thread chunking
+//! (`axattack/tests/prop_decision_batch.rs` pins this).
 
 use axnn::Sequential;
 use axtensor::Tensor;
-use axutil::rng::Rng;
+use axutil::{parallel, rng::Rng};
 
 use crate::norms::{normalized, project_to_ball, Norm};
 use crate::Attack;
@@ -72,8 +80,12 @@ impl Attack for ContrastReduction {
 }
 
 /// Shared implementation of the repeated additive-noise attacks.
+///
+/// `predict` abstracts the model query: the scalar path queries
+/// [`Sequential::predict`] (fresh plan per call), the batched path a
+/// hoisted plan + scratch — same decisions either way.
 fn repeated_noise(
-    model: &Sequential,
+    predict: &mut impl FnMut(&Tensor) -> usize,
     x: &Tensor,
     label: usize,
     eps: f32,
@@ -88,12 +100,51 @@ fn repeated_noise(
     let mut last = x.clone();
     for _ in 0..repeats.max(1) {
         let candidate = sample(rng, x);
-        if model.predict(&candidate) != label {
+        if predict(&candidate) != label {
             return candidate; // first fooling draw wins
         }
         last = candidate;
     }
     last
+}
+
+/// The batched RAG/RAU loop: one compiled [`axnn::plan::FPlan`] shared by
+/// all threads, one scratch per image chunk, every noise draw scored
+/// through it. Image `i` draws from `rng.derive(i)`, so the result is
+/// bit-identical to per-image [`repeated_noise`] over
+/// [`Sequential::predict`] for any chunking ([`axnn::plan::FPlan::predict`]
+/// is bit-compatible with the wrapper).
+fn batch_repeated_noise(
+    model: &Sequential,
+    images: &[Tensor],
+    labels: &[usize],
+    eps: f32,
+    rng: &Rng,
+    repeats: usize,
+    sample: impl Fn(&mut Rng, &Tensor) -> Tensor + Sync,
+) -> Vec<Tensor> {
+    assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+    if images.is_empty() {
+        return Vec::new();
+    }
+    let plan = model.plan(images[0].dims());
+    parallel::par_map_chunks(images.len(), |range| {
+        let mut scratch = plan.scratch();
+        range
+            .map(|i| {
+                let mut stream = rng.derive(i as u64);
+                repeated_noise(
+                    &mut |t| plan.predict(&mut scratch, t),
+                    &images[i],
+                    labels[i],
+                    eps,
+                    &mut stream,
+                    repeats,
+                    &sample,
+                )
+            })
+            .collect()
+    })
 }
 
 /// Repeated Additive Gaussian noise under an l2 budget.
@@ -135,12 +186,46 @@ impl Attack for RepeatedAdditiveGaussian {
         eps: f32,
         rng: &mut Rng,
     ) -> Tensor {
-        repeated_noise(model, x, label, eps, rng, self.repeats, |rng, x| {
-            let mut u = Tensor::zeros(x.dims());
-            rng.fill_normal_f32(u.data_mut(), 1.0);
-            let noise = normalized(&u, Norm::L2).scaled(eps);
-            x.add(&noise).clamped(0.0, 1.0)
-        })
+        repeated_noise(
+            &mut |t| model.predict(t),
+            x,
+            label,
+            eps,
+            rng,
+            self.repeats,
+            gaussian_sample(eps),
+        )
+    }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        batch_repeated_noise(
+            model,
+            images,
+            labels,
+            eps,
+            rng,
+            self.repeats,
+            gaussian_sample(eps),
+        )
+    }
+}
+
+/// The RAG candidate draw: l2-normalized Gaussian noise of length `eps`,
+/// clipped to the pixel box. One definition shared by the scalar and
+/// batched loops, so their bit-identity is structural.
+fn gaussian_sample(eps: f32) -> impl Fn(&mut Rng, &Tensor) -> Tensor + Sync {
+    move |rng, x| {
+        let mut u = Tensor::zeros(x.dims());
+        rng.fill_normal_f32(u.data_mut(), 1.0);
+        let noise = normalized(&u, Norm::L2).scaled(eps);
+        x.add(&noise).clamped(0.0, 1.0)
     }
 }
 
@@ -178,17 +263,49 @@ impl Attack for RepeatedAdditiveUniform {
         eps: f32,
         rng: &mut Rng,
     ) -> Tensor {
-        let norm = self.norm;
-        repeated_noise(model, x, label, eps, rng, self.repeats, move |rng, x| {
-            let mut u = Tensor::zeros(x.dims());
-            rng.fill_range_f32(u.data_mut(), -1.0, 1.0);
-            let noise = match norm {
-                // Uniform in [-eps, eps]^n: linf norm <= eps by construction.
-                Norm::Linf => u.scaled(eps),
-                Norm::L2 => normalized(&u, Norm::L2).scaled(eps),
-            };
-            x.add(&noise).clamped(0.0, 1.0)
-        })
+        repeated_noise(
+            &mut |t| model.predict(t),
+            x,
+            label,
+            eps,
+            rng,
+            self.repeats,
+            uniform_sample(self.norm, eps),
+        )
+    }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        batch_repeated_noise(
+            model,
+            images,
+            labels,
+            eps,
+            rng,
+            self.repeats,
+            uniform_sample(self.norm, eps),
+        )
+    }
+}
+
+/// The RAU candidate draw under `norm`. One definition shared by the
+/// scalar and batched loops, so their bit-identity is structural.
+fn uniform_sample(norm: Norm, eps: f32) -> impl Fn(&mut Rng, &Tensor) -> Tensor + Sync {
+    move |rng, x| {
+        let mut u = Tensor::zeros(x.dims());
+        rng.fill_range_f32(u.data_mut(), -1.0, 1.0);
+        let noise = match norm {
+            // Uniform in [-eps, eps]^n: linf norm <= eps by construction.
+            Norm::Linf => u.scaled(eps),
+            Norm::L2 => normalized(&u, Norm::L2).scaled(eps),
+        };
+        x.add(&noise).clamped(0.0, 1.0)
     }
 }
 

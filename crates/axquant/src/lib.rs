@@ -23,6 +23,10 @@
 //!   [`MulBackend`](axmul::kernel::MulBackend).
 //! * [`placement`] — where approximation applies (conv layers only, as in
 //!   the paper, or everywhere).
+//! * [`qtrain`] — approximation-aware fine-tuning: a straight-through
+//!   estimator backward over the quantized forward, retraining float
+//!   shadow weights against the chosen multiplier (the retraining
+//!   defense of the paper's Sec. V).
 //!
 //! # Examples
 //!
@@ -52,9 +56,11 @@ pub mod plan;
 pub mod qlevel;
 pub mod qmodel;
 pub mod qparams;
+pub mod qtrain;
 
 pub use placement::Placement;
 pub use plan::{QPlan, QScratch};
 pub use qlevel::QLevel;
 pub use qmodel::QuantModel;
 pub use qparams::QuantParams;
+pub use qtrain::{finetune, FinetuneConfig, FinetuneHistory, QTrainPlan, QTrainScratch};

@@ -277,6 +277,13 @@ impl QuantModel {
         self.input_qmax
     }
 
+    /// Dequantization scale of the input codes (`1 / input_qmax`) — the
+    /// anchor of the per-layer scale chain the fine-tuning backward
+    /// reconstructs (see [`crate::qtrain`]).
+    pub(crate) fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
     /// Runs quantized inference with the given multiplier kernel and
     /// returns float logits.
     ///

@@ -1,0 +1,53 @@
+//! The perf regression gate: validates the fresh `BENCH_*.json` reports
+//! `bench_report` wrote into the current directory.
+//!
+//! Checks (see [`bench::check`]):
+//!
+//! * every report parses as JSON,
+//! * every expected attack/model/workload entry is present,
+//! * no `speedup` fell below the documented floor (default `0.8`, i.e. a
+//!   20% jitter allowance below parity; override with
+//!   `AXDNN_BENCH_MIN_SPEEDUP`),
+//! * fine-tuning still improves clean quantized accuracy over
+//!   post-training quantization (exact — the pipeline is deterministic).
+//!
+//! Exits non-zero listing every violation, so CI fails loudly instead of
+//! uploading a silently regressed artifact.
+
+use bench::check::{
+    check_finetune_accuracy, check_report, expected_reports, min_speedup_from_env, Json,
+};
+
+fn main() {
+    let min_speedup = min_speedup_from_env();
+    let mut errs: Vec<String> = Vec::new();
+    for (file, entry_key, expected) in expected_reports() {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                errs.push(format!("{file}: unreadable ({e})"));
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                errs.push(format!("{file}: not valid JSON ({e})"));
+                continue;
+            }
+        };
+        errs.extend(check_report(&doc, file, entry_key, &expected, min_speedup));
+        if file == "BENCH_finetune.json" {
+            errs.extend(check_finetune_accuracy(&doc, file));
+        }
+    }
+    if errs.is_empty() {
+        println!("bench_check: all reports healthy (speedup floor {min_speedup:.2})");
+    } else {
+        eprintln!("bench_check: {} violation(s):", errs.len());
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}

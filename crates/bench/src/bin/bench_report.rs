@@ -13,16 +13,32 @@
 //! `BENCH_train.json` into the current directory (the repo root in CI)
 //! and human-readable copies into the artifacts directory.
 //!
+//! Part 3 is the approximation-aware fine-tuning smoke: LeNet-5 is
+//! trained briefly, quantized with one approximate LUT multiplier, and
+//! fine-tuned through that approximate forward
+//! ([`axquant::qtrain::finetune`]); the report records clean quantized
+//! accuracy before vs. after retraining plus the scalar-vs-batched
+//! timing of the STE gradient step. Writes `BENCH_finetune.json`.
+//!
+//! Every `BENCH_*.json` this binary writes is validated by the
+//! `bench_check` regression gate in CI.
+//!
 //! Environment: `AXDNN_BENCH_IMAGES` (default 8) and `AXDNN_BENCH_REPS`
-//! (default 3) size the workload.
+//! (default 3) size the workload; `AXDNN_BENCH_FT_TRAIN` (default 400)
+//! sizes the fine-tuning training set.
 
 use std::time::Instant;
 
 use axattack::gradient::{Bim, Fgm, Pgd};
 use axattack::norms::Norm;
 use axattack::Attack;
+use axdata::mnist::{MnistConfig, SynthMnist};
+use axmul::Registry;
+use axnn::train::{fit, TrainConfig};
 use axnn::zoo;
 use axnn::Sequential;
+use axquant::qtrain::{finetune, FinetuneConfig, QTrainPlan};
+use axquant::QuantModel;
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
@@ -166,6 +182,7 @@ fn main() {
     }
 
     train_report(&images, &labels, n_images, reps, threads);
+    finetune_report(reps, threads);
 }
 
 /// Part 2: one training gradient step, scalar vs batched, on the same
@@ -240,4 +257,123 @@ fn train_report(images: &[Tensor], labels: &[usize], n_images: usize, reps: usiz
     std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
     eprintln!("[saved BENCH_train.json]");
     bench::emit("bench_train", &text);
+}
+
+/// Part 3: the approximation-aware fine-tuning smoke (LeNet-5, one
+/// approximate LUT multiplier). Records clean quantized accuracy for the
+/// post-training-quantization baseline vs. after fine-tuning through the
+/// approximate forward, and times one STE gradient batch scalar (fresh
+/// plan + scratch per image — the shape a naive per-image wrapper pays)
+/// vs batched (one compiled plan, chunked scratches). Writes
+/// `BENCH_finetune.json`.
+fn finetune_report(reps: usize, threads: usize) {
+    std::env::set_var("AXDNN_THREADS", "1");
+    let n_train = env_usize("AXDNN_BENCH_FT_TRAIN", 400);
+    let train = SynthMnist::generate(&MnistConfig {
+        n: n_train,
+        seed: 41,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 42,
+        ..Default::default()
+    });
+    let mut model = zoo::lenet5(&mut Rng::seed_from_u64(40));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            ..Default::default()
+        },
+    );
+    let float_acc = model.accuracy(&test, test.len());
+
+    let kernel_name = "L40";
+    let lut = Registry::standard()
+        .build_lut(kernel_name)
+        .expect("registry kernel");
+    let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
+    let cfg = FinetuneConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let qm = QuantModel::from_float_with_level(&model, &calib, cfg.placement, cfg.level)
+        .expect("quantize lenet5");
+    let ptq_acc = qm.accuracy_with(&test, &lut, test.len());
+
+    // Timing: one STE gradient batch over 8 images, scalar vs batched.
+    let images: Vec<Tensor> = (0..8).map(|i| train.image(i).clone()).collect();
+    let labels: Vec<usize> = (0..8).map(|i| train.label(i)).collect();
+    let in_dims = [1usize, 28, 28];
+    let scalar_step = || {
+        let mut loss = 0.0f32;
+        let mut grads = model.zero_grads();
+        for (img, &lbl) in images.iter().zip(&labels) {
+            // The naive shape: a fresh plan and scratch per image.
+            let plan = QTrainPlan::compile(&qm, &model, &in_dims);
+            let mut s = plan.scratch();
+            let (l, g) = plan.loss_and_param_grads(&mut s, img, lbl, &lut);
+            loss += l;
+            grads.accumulate(&g);
+        }
+        (loss, grads)
+    };
+    let batched_step = || {
+        let plan = QTrainPlan::compile(&qm, &model, &in_dims);
+        plan.loss_and_param_grads_batch(images.len(), |i| &images[i], |i| labels[i], &lut)
+    };
+    // Warm-up + correctness: both paths must agree bit-for-bit.
+    assert_eq!(
+        scalar_step(),
+        batched_step(),
+        "batched STE gradient diverged from the per-image fold"
+    );
+    let scalar_ms = median_ms(reps, || {
+        std::hint::black_box(scalar_step());
+    });
+    let batched_ms = median_ms(reps, || {
+        std::hint::black_box(batched_step());
+    });
+    std::env::remove_var("AXDNN_THREADS");
+    let batched_par_ms = median_ms(reps, || {
+        std::hint::black_box(batched_step());
+    });
+    let speedup = scalar_ms / batched_ms;
+
+    // The retraining defense itself: fine-tune through the approximate
+    // forward and re-measure clean quantized accuracy.
+    let mut shadow = model.clone();
+    let (hist, tuned) = finetune(&mut shadow, &train, &calib, &lut, &cfg).expect("finetune lenet5");
+    let ft_acc = tuned.accuracy_with(&test, &lut, test.len());
+
+    let json = format!(
+        "{{\n  \"bench\": \"finetune\",\n  \"model\": \"lenet5-1x28\",\n  \"kernel\": \"{kernel_name}\",\n  \
+         \"train_images\": {n_train},\n  \"epochs\": {},\n  \"reps\": {reps},\n  \
+         \"parallel_threads\": {threads},\n  \"units\": \"ms_per_batch_median\",\n  \
+         \"clean_accuracy\": {{\"float\": {float_acc:.4}, \"ptq\": {ptq_acc:.4}, \"finetuned\": {ft_acc:.4}, \"delta\": {:.4}}},\n  \
+         \"results\": [\n    {{\"workload\": \"finetune_grad_batch\", \"scalar_ms\": {scalar_ms:.3}, \"batched_ms\": {batched_ms:.3}, \"speedup\": {speedup:.3}, \"batched_parallel_ms\": {batched_par_ms:.3}}}\n  ]\n}}\n",
+        cfg.epochs,
+        ft_acc - ptq_acc,
+    );
+    let text = format!(
+        "# Approximation-aware fine-tuning (LeNet-5, {kernel_name}, {n_train} train images)\n\n\
+         | clean acc: float | PTQ | fine-tuned | epoch losses |\n|---|---|---|---|\n\
+         | {:.1}% | {:.1}% | {:.1}% | {:?} |\n\n\
+         | workload | scalar ms | batched ms (1 thread) | speedup | batched ms ({threads} threads) |\n|---|---|---|---|---|\n\
+         | finetune_grad_batch | {scalar_ms:.2} | {batched_ms:.2} | {speedup:.2}x | {batched_par_ms:.2} |\n",
+        100.0 * float_acc,
+        100.0 * ptq_acc,
+        100.0 * ft_acc,
+        hist.losses,
+    );
+    std::fs::write("BENCH_finetune.json", &json).expect("write BENCH_finetune.json");
+    eprintln!("[saved BENCH_finetune.json]");
+    bench::emit("bench_finetune", &text);
+    if ft_acc < ptq_acc {
+        eprintln!("warning: fine-tuning did not improve clean quantized accuracy");
+    }
 }

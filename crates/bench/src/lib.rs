@@ -21,6 +21,8 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod check;
+
 use std::path::PathBuf;
 
 use axrobust::experiments::FigureOpts;

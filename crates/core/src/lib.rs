@@ -15,6 +15,9 @@
 //! * [`grid`] — robustness grids (the heatmaps of Figs 4-7) with
 //!   Markdown/CSV renderers.
 //! * [`transfer`] — the transferability study (Table II).
+//! * [`retrain`] — the fine-tuning defense study (Sec. V): clean and
+//!   adversarial accuracy before vs. after approximation-aware
+//!   retraining, per victim multiplier.
 //! * [`quantstudy`] — the quantization study (Fig 8).
 //! * [`experiments`] — per-figure drivers with the paper's epsilon grid
 //!   and multiplier sets.
@@ -57,6 +60,7 @@ pub mod eval;
 pub mod experiments;
 pub mod grid;
 pub mod quantstudy;
+pub mod retrain;
 pub mod store;
 pub mod threat;
 pub mod transfer;
