@@ -12,6 +12,31 @@
 
 use std::fmt;
 
+/// Lane patterns for the 6 inputs that vary inside one 64-bit word
+/// during exhaustive evaluation (input `k` toggles with period `2^k`).
+pub(crate) const LANE: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Fills `words` with the exhaustive-batch input pattern: the low 6
+/// inputs take the [`LANE`] patterns, the rest the bits of `batch`.
+pub(crate) fn exhaustive_batch_words(words: &mut [u64], batch: usize) {
+    for (k, w) in words.iter_mut().enumerate() {
+        *w = if k < 6 {
+            LANE[k]
+        } else if (batch >> (k - 6)) & 1 == 1 {
+            u64::MAX
+        } else {
+            0
+        };
+    }
+}
+
 /// Identifies a node inside one [`Netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
@@ -125,6 +150,18 @@ impl Netlist {
     /// All nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Returns the [`NodeId`] at position `index` in topological order —
+    /// the inverse of [`NodeId::index`], e.g. for enumerating fault
+    /// sites (see [`crate::faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn node_id(&self, index: usize) -> NodeId {
+        assert!(index < self.nodes.len(), "node index {index} out of range");
+        NodeId(index as u32)
     }
 
     /// Returns the [`NodeId`] for primary input `bit`.
@@ -244,6 +281,20 @@ impl Netlist {
     /// Like [`eval_words`](Self::eval_words) but reuses a caller-provided
     /// scratch buffer (resized as needed) and leaves all node values in it.
     pub fn eval_words_into(&self, input_words: &[u64], scratch: &mut Vec<u64>) {
+        self.eval_words_into_forced(input_words, scratch, &[]);
+    }
+
+    /// The word-parallel forward pass with forced node values: after a
+    /// node is evaluated, its word is overwritten by the matching entry of
+    /// `forced` (sorted by node index), so every fanout sees the forced
+    /// value. This is how stuck-at faults enter the simulator — see
+    /// [`crate::faults`] for the public API.
+    pub(crate) fn eval_words_into_forced(
+        &self,
+        input_words: &[u64],
+        scratch: &mut Vec<u64>,
+        forced: &[(usize, u64)],
+    ) {
         assert_eq!(
             input_words.len(),
             self.num_inputs,
@@ -251,8 +302,9 @@ impl Netlist {
             self.num_inputs
         );
         scratch.resize(self.nodes.len(), 0);
+        let mut cursor = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
-            scratch[i] = match *node {
+            let mut v = match *node {
                 Node::Input(b) => input_words[b as usize],
                 Node::Const(v) => {
                     if v {
@@ -269,6 +321,31 @@ impl Netlist {
                 Node::Nor(a, b) => !(scratch[a.index()] | scratch[b.index()]),
                 Node::Xnor(a, b) => !(scratch[a.index()] ^ scratch[b.index()]),
             };
+            if cursor < forced.len() && forced[cursor].0 == i {
+                v = forced[cursor].1;
+                cursor += 1;
+            }
+            scratch[i] = v;
+        }
+    }
+
+    /// Re-evaluates only the gates at index `from` onward, given node
+    /// values already present in `scratch`. Inputs and constants keep
+    /// their existing words. Used by the fault-observability scan, which
+    /// replays the suffix of the topological order after forcing one node.
+    pub(crate) fn recompute_gates_from(&self, scratch: &mut [u64], from: usize) {
+        for i in from..self.nodes.len() {
+            let v = match self.nodes[i] {
+                Node::Input(_) | Node::Const(_) => continue,
+                Node::Not(a) => !scratch[a.index()],
+                Node::And(a, b) => scratch[a.index()] & scratch[b.index()],
+                Node::Or(a, b) => scratch[a.index()] | scratch[b.index()],
+                Node::Xor(a, b) => scratch[a.index()] ^ scratch[b.index()],
+                Node::Nand(a, b) => !(scratch[a.index()] & scratch[b.index()]),
+                Node::Nor(a, b) => !(scratch[a.index()] | scratch[b.index()]),
+                Node::Xnor(a, b) => !(scratch[a.index()] ^ scratch[b.index()]),
+            };
+            scratch[i] = v;
         }
     }
 
@@ -309,28 +386,11 @@ impl Netlist {
         assert!(self.outputs.len() <= 64);
         let total = 1usize << self.num_inputs;
         let mut table = vec![0u64; total];
-        // Lane patterns for the 6 inputs that vary inside one 64-bit word.
-        const LANE: [u64; 6] = [
-            0xAAAA_AAAA_AAAA_AAAA,
-            0xCCCC_CCCC_CCCC_CCCC,
-            0xF0F0_F0F0_F0F0_F0F0,
-            0xFF00_FF00_FF00_FF00,
-            0xFFFF_0000_FFFF_0000,
-            0xFFFF_FFFF_0000_0000,
-        ];
         let batches = total.div_ceil(64);
         let mut scratch = Vec::new();
         let mut words = vec![0u64; self.num_inputs];
         for batch in 0..batches {
-            for (k, w) in words.iter_mut().enumerate() {
-                *w = if k < 6 {
-                    LANE[k]
-                } else if (batch >> (k - 6)) & 1 == 1 {
-                    u64::MAX
-                } else {
-                    0
-                };
-            }
+            exhaustive_batch_words(&mut words, batch);
             self.eval_words_into(&words, &mut scratch);
             let lanes = (total - batch * 64).min(64);
             for lane in 0..lanes {
@@ -361,26 +421,10 @@ impl Netlist {
         let total = 1usize << self.num_inputs;
         let batches = total.div_ceil(64);
         let mut ones = vec![0u64; self.nodes.len()];
-        const LANE: [u64; 6] = [
-            0xAAAA_AAAA_AAAA_AAAA,
-            0xCCCC_CCCC_CCCC_CCCC,
-            0xF0F0_F0F0_F0F0_F0F0,
-            0xFF00_FF00_FF00_FF00,
-            0xFFFF_0000_FFFF_0000,
-            0xFFFF_FFFF_0000_0000,
-        ];
         let mut scratch = Vec::new();
         let mut words = vec![0u64; self.num_inputs];
         for batch in 0..batches {
-            for (k, w) in words.iter_mut().enumerate() {
-                *w = if k < 6 {
-                    LANE[k]
-                } else if (batch >> (k - 6)) & 1 == 1 {
-                    u64::MAX
-                } else {
-                    0
-                };
-            }
+            exhaustive_batch_words(&mut words, batch);
             self.eval_words_into(&words, &mut scratch);
             let lanes = (total - batch * 64).min(64);
             let mask = if lanes == 64 {

@@ -20,6 +20,9 @@
 //!   table read, or generic trait call).
 //! * [`lut`] — 64Ki-entry lookup tables extracted from netlists; one L1
 //!   resident table lookup per MAC during inference.
+//! * [`faulted`] — the same tables with stuck-at faults injected at the
+//!   netlist layer ([`faulted::FaultedMul`]), for hardware-defect
+//!   robustness sweeps.
 //! * [`spec`] — a named multiplier specification (name, family, recipe,
 //!   calibration target).
 //! * [`registry`] — the named parts and the per-figure sets used by the
@@ -43,6 +46,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod faulted;
 pub mod kernel;
 pub mod lut;
 pub mod metrics;
@@ -50,6 +54,7 @@ pub mod registry;
 pub mod signed;
 pub mod spec;
 
+pub use faulted::FaultedMul;
 pub use kernel::{ExactMul, MulBackend, MulKernel};
 pub use lut::{transpose_table, MulLut};
 pub use registry::Registry;

@@ -6,13 +6,18 @@
 //! `forward_with` calls, and the exact LUT must be bit-exact with the
 //! builtin exact multiplier through the GEMM path.
 
-use axmul::{ExactMul, MulLut};
+use std::sync::Mutex;
+
+use axmul::{ExactMul, FaultedMul, MulLut};
 use axnn::layer::{AvgPool2d, Conv2d, Dense, Layer};
 use axnn::model::Sequential;
 use axquant::{Placement, QLevel, QuantModel};
 use axtensor::Tensor;
 use axutil::rng::Rng;
 use proptest::prelude::*;
+
+/// Serializes tests that read or write `AXDNN_THREADS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 const IN_DIMS: [usize; 3] = [1, 6, 6];
 
@@ -123,6 +128,59 @@ proptest! {
                 prop_assert!(false, "{msg} (placement {placement}, level {level})");
             }
         }
+    }
+}
+
+/// A stuck-at-faulted multiplier LUT must ride the same batch engine
+/// contracts as any other table kernel: `forward_batch_with` under a
+/// [`FaultedMul`] is bit-identical across `AXDNN_THREADS` 1/4 and
+/// identical to the per-image `forward_with` path.
+#[test]
+fn faulted_kernel_batch_forward_is_thread_invariant() {
+    use axcirc::faults::{Fault, FaultSet, StuckAt};
+
+    let nl = axmul::Registry::standard()
+        .find("17KS")
+        .expect("registered")
+        .build_netlist();
+    // Tie a mid-significance product bit high: defective enough to
+    // change products, not so defective that every logit saturates.
+    let fault = Fault::new(nl.outputs()[3], StuckAt::One);
+    let fk = FaultedMul::from_netlist("17KS", &nl, FaultSet::single(fault));
+    let clean = MulLut::from_netlist("17KS", &nl);
+    assert_ne!(fk.table(), clean.table(), "the fault must alter the LUT");
+    assert!(matches!(
+        axmul::MulBackend::of(&fk),
+        axmul::MulBackend::Table(_)
+    ));
+
+    let model = small_model(2, 41);
+    let calib = images(4, 42);
+    let probes = images(3, 43);
+    let qm = QuantModel::from_float(&model, &calib, Placement::All).expect("supported topology");
+
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::env::var("AXDNN_THREADS").ok();
+    let mut per_threads = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("AXDNN_THREADS", threads);
+        let plan = qm.plan(&IN_DIMS);
+        per_threads.push(plan.forward_batch_with(&probes, &[&fk]));
+    }
+    match prev {
+        Some(v) => std::env::set_var("AXDNN_THREADS", v),
+        None => std::env::remove_var("AXDNN_THREADS"),
+    }
+    assert_eq!(
+        per_threads[0], per_threads[1],
+        "faulted batch forward must not depend on thread chunking"
+    );
+    for (img, row) in probes.iter().zip(&per_threads[0]) {
+        assert_eq!(
+            row[0],
+            qm.forward_with(img, &fk),
+            "faulted batch lane != per-image forward_with"
+        );
     }
 }
 

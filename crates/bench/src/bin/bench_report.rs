@@ -20,12 +20,24 @@
 //! accuracy before vs. after retraining plus the scalar-vs-batched
 //! timing of the STE gradient step. Writes `BENCH_finetune.json`.
 //!
+//! Part 4 is the stuck-at fault campaign smoke: the quickstart FFNN
+//! config is swept through [`axrobust::experiments::run_fault_sweep`]
+//! over three registry multipliers, and the LUT-rebuild throughput
+//! (faulted netlist → 64Ki table) is timed against a floor. The JSON
+//! carries only deterministic fields plus the boolean floor verdict —
+//! measured throughput goes to stderr — so `BENCH_faults.json` is
+//! byte-identical across runs and thread counts. Writes
+//! `BENCH_faults.json`.
+//!
 //! Every `BENCH_*.json` this binary writes is validated by the
 //! `bench_check` regression gate in CI.
 //!
 //! Environment: `AXDNN_BENCH_IMAGES` (default 8) and `AXDNN_BENCH_REPS`
 //! (default 3) size the workload; `AXDNN_BENCH_FT_TRAIN` (default 400)
-//! sizes the fine-tuning training set.
+//! sizes the fine-tuning training set; `AXDNN_BENCH_FAULT_EVAL`
+//! (default 60) and `AXDNN_BENCH_FAULTS` (default 6) size the fault
+//! campaign; `AXDNN_BENCH_MIN_LUT_REBUILD` (default 5.0 rebuilds/s)
+//! sets the LUT-rebuild throughput floor.
 
 use std::time::Instant;
 
@@ -38,7 +50,9 @@ use axnn::train::{fit, TrainConfig};
 use axnn::zoo;
 use axnn::Sequential;
 use axquant::qtrain::{finetune, FinetuneConfig, QTrainPlan};
-use axquant::QuantModel;
+use axquant::{Placement, QuantModel};
+use axrobust::experiments::run_fault_sweep;
+use axrobust::faults::{sample_single_faults, FaultSweepOpts};
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
@@ -47,6 +61,14 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|v: &f64| v.is_finite() && *v > 0.0)
         .unwrap_or(default)
 }
 
@@ -71,6 +93,11 @@ struct Row {
 }
 
 fn main() {
+    // Remember the caller's thread setting: parts 1-3 pin/unpin
+    // AXDNN_THREADS around their timings, but the fault sweep (part 4)
+    // must run under the caller's choice so its thread invariance stays
+    // observable end to end.
+    let orig_threads = std::env::var("AXDNN_THREADS").ok();
     // Pin the scalar-vs-batched comparison to one thread; the parallel
     // column at the end shows the additional thread scaling.
     std::env::set_var("AXDNN_THREADS", "1");
@@ -183,6 +210,7 @@ fn main() {
 
     train_report(&images, &labels, n_images, reps, threads);
     finetune_report(reps, threads);
+    faults_report(reps, orig_threads);
 }
 
 /// Part 2: one training gradient step, scalar vs batched, on the same
@@ -376,4 +404,111 @@ fn finetune_report(reps: usize, threads: usize) {
     if ft_acc < ptq_acc {
         eprintln!("warning: fine-tuning did not improve clean quantized accuracy");
     }
+}
+
+/// Part 4: the stuck-at fault campaign smoke (quickstart FFNN config,
+/// three registry multipliers). The sweep itself is deterministic and
+/// thread-invariant, so every value in `BENCH_faults.json` replays
+/// byte-identically; the only timed quantity — faulted-LUT rebuild
+/// throughput — is compared against its floor here and recorded as a
+/// boolean verdict, with the measured rate on stderr only.
+fn faults_report(reps: usize, orig_threads: Option<String>) {
+    // Run under the caller's thread setting (parts 1-3 pinned the var).
+    match &orig_threads {
+        Some(v) => std::env::set_var("AXDNN_THREADS", v),
+        None => std::env::remove_var("AXDNN_THREADS"),
+    }
+    let n_eval = env_usize("AXDNN_BENCH_FAULT_EVAL", 60);
+    let n_faults = env_usize("AXDNN_BENCH_FAULTS", 6);
+    let floor_per_s = env_f64("AXDNN_BENCH_MIN_LUT_REBUILD", 5.0);
+
+    // The quickstart smoke config: a briefly trained FFNN, quantized
+    // everywhere.
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 400,
+        seed: 51,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 52,
+        ..Default::default()
+    });
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(50));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            ..Default::default()
+        },
+    );
+    let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
+    let qm = QuantModel::from_float(&model, &calib, Placement::All).expect("quantize ffnn");
+
+    let mults = ["1JFF", "17KS", "L40"];
+    let opts = FaultSweepOpts {
+        n_eval,
+        n_faults,
+        ..Default::default()
+    };
+    let report = run_fault_sweep(&model, &qm, &test, &mults, &opts).expect("fault sweep");
+
+    // LUT-rebuild throughput: faulted netlist → 64Ki table, the
+    // per-fault cost every campaign cell pays.
+    let nl = Registry::standard()
+        .find("17KS")
+        .expect("registered")
+        .build_netlist();
+    let fault_sets = sample_single_faults(&nl, n_faults, opts.seed, 1);
+    let rebuild_ms = median_ms(reps, || {
+        for fs in &fault_sets {
+            std::hint::black_box(axmul::FaultedMul::from_netlist("17KS", &nl, fs.clone()));
+        }
+    });
+    let per_s = fault_sets.len() as f64 / (rebuild_ms / 1e3);
+    let meets_floor = per_s >= floor_per_s;
+    eprintln!(
+        "[fault campaign: {per_s:.1} faulted-LUT rebuilds/s, floor {floor_per_s} — {}]",
+        if meets_floor { "ok" } else { "BELOW FLOOR" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fault_campaign\",\n");
+    json.push_str("  \"model\": \"ffnn-1x28\",\n");
+    json.push_str(&format!("  \"attack\": \"{}\",\n", report.attack));
+    json.push_str(&format!("  \"eps\": {},\n", report.eps));
+    json.push_str(&format!("  \"n_eval\": {n_eval},\n"));
+    json.push_str(&format!(
+        "  \"campaign\": {{\"n_faults\": {}, \"seed\": {}}},\n",
+        report.n_faults, report.seed
+    ));
+    json.push_str(&format!(
+        "  \"lut_rebuild\": {{\"floor_per_s\": {floor_per_s}, \"meets_floor\": {meets_floor}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mult\": \"{}\", \"sites\": {}, \"clean\": {:.4}, \"adv\": {:.4}, \
+             \"fault_clean_mean\": {:.4}, \"fault_clean_worst\": {:.4}, \
+             \"fault_adv_mean\": {:.4}, \"fault_adv_worst\": {:.4}}}{}\n",
+            row.mult,
+            row.sites,
+            row.clean,
+            row.adv,
+            row.mean_fault_clean(),
+            row.worst_fault_clean(),
+            row.mean_fault_adv(),
+            row.worst_fault_adv(),
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    eprintln!("[saved BENCH_faults.json]");
+    // The text artifact is the deterministic sweep report alone — no
+    // timings — so it too is byte-identical across runs.
+    bench::emit("bench_faults", &report.to_text());
 }

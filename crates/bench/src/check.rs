@@ -1,8 +1,9 @@
 //! The CI perf regression gate behind the `bench_check` binary.
 //!
-//! After `bench_report` runs, this module re-reads the fresh
-//! `BENCH_attacks.json`, `BENCH_train.json` and `BENCH_finetune.json`
-//! and verifies that
+//! After `bench_report` runs, this module re-reads every fresh
+//! `BENCH_*.json` report it writes (see [`expected_reports`] — the list
+//! is data, so adding a report cannot silently skip validation) and
+//! verifies that
 //!
 //! * each file parses as JSON (a tiny vendored-free parser — the
 //!   container has no `serde`),
@@ -14,7 +15,12 @@
 //! * fine-tuning still improves clean quantized accuracy over
 //!   post-training quantization (`clean_accuracy.finetuned >
 //!   clean_accuracy.ptq`). This check is *exact*: the pipeline is
-//!   deterministic and thread-invariant, so the accuracies never jitter.
+//!   deterministic and thread-invariant, so the accuracies never jitter,
+//! * the fault campaign report carries a non-empty campaign, sound
+//!   accuracies and a met LUT-rebuild throughput floor
+//!   (`lut_rebuild.meets_floor` — the floor itself is applied by
+//!   `bench_report`, which keeps the JSON free of jittering timings and
+//!   therefore byte-identical across runs).
 
 use std::collections::HashMap;
 
@@ -329,39 +335,174 @@ pub fn check_finetune_accuracy(doc: &Json, file: &str) -> Vec<String> {
     }
 }
 
-/// The expected entries of every report `bench_report` writes, as
-/// `(file, entry_key, entries)` triples.
+/// Validates the fault-campaign report (`BENCH_faults.json`): every
+/// expected multiplier row is present with accuracies in `[0, 1]`, the
+/// campaign injected at least one fault, and the LUT-rebuild throughput
+/// floor was met (`lut_rebuild.meets_floor` — `bench_report` applies the
+/// floor itself so the JSON stays free of jittering timings).
+pub fn check_fault_report(
+    doc: &Json,
+    file: &str,
+    entry_key: &str,
+    expected: &[ExpectedEntry],
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc
+        .get("campaign")
+        .and_then(|c| c.get("n_faults"))
+        .and_then(Json::as_f64)
+    {
+        Some(n) if n >= 1.0 => {}
+        Some(n) => errs.push(format!("{file}: campaign.n_faults {n} is empty")),
+        None => errs.push(format!("{file}: missing numeric \"campaign.n_faults\"")),
+    }
+    match doc.get("lut_rebuild") {
+        Some(lr) => {
+            match lr.get("floor_per_s").and_then(Json::as_f64) {
+                Some(f) if f > 0.0 => {}
+                _ => errs.push(format!(
+                    "{file}: lut_rebuild lacks a positive \"floor_per_s\""
+                )),
+            }
+            match lr.get("meets_floor") {
+                Some(Json::Bool(true)) => {}
+                Some(Json::Bool(false)) => errs.push(format!(
+                    "{file}: LUT-rebuild throughput fell below the floor"
+                )),
+                _ => errs.push(format!("{file}: lut_rebuild lacks boolean \"meets_floor\"")),
+            }
+        }
+        None => errs.push(format!("{file}: missing \"lut_rebuild\"")),
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        errs.push(format!("{file}: missing or non-array \"results\""));
+        return errs;
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    const ACC_FIELDS: [&str; 6] = [
+        "clean",
+        "adv",
+        "fault_clean_mean",
+        "fault_clean_worst",
+        "fault_adv_mean",
+        "fault_adv_worst",
+    ];
+    for (i, entry) in results.iter().enumerate() {
+        match entry.get(entry_key).and_then(Json::as_str) {
+            Some(n) => seen.push(n),
+            None => errs.push(format!("{file}: results[{i}] lacks \"{entry_key}\"")),
+        }
+        for field in ACC_FIELDS {
+            match entry.get(field).and_then(Json::as_f64) {
+                Some(a) if (0.0..=1.0).contains(&a) => {}
+                Some(a) => errs.push(format!("{file}: results[{i}].{field} = {a} outside [0, 1]")),
+                None => errs.push(format!("{file}: results[{i}] lacks numeric \"{field}\"")),
+            }
+        }
+    }
+    for want in expected {
+        if !seen.contains(&want.name) {
+            errs.push(format!(
+                "{file}: expected {entry_key} entry \"{}\" missing",
+                want.name
+            ));
+        }
+    }
+    errs
+}
+
+/// How a report's contents are validated by [`validate_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// Scalar-vs-batched speedup rows ([`check_report`]).
+    Speedup,
+    /// Speedup rows plus the fine-tuning accuracy gate
+    /// ([`check_finetune_accuracy`]).
+    Finetune,
+    /// Fault-campaign report ([`check_fault_report`]).
+    FaultCampaign,
+}
+
+/// One report `bench_report` writes and `bench_check` validates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpec {
+    /// The JSON file name (always `BENCH_*.json` in the repo root).
+    pub file: &'static str,
+    /// The field naming each `results` entry (attack/model/workload/mult).
+    pub entry_key: &'static str,
+    /// Which validation applies.
+    pub kind: ReportKind,
+    /// The entries that must be present.
+    pub expected: Vec<ExpectedEntry>,
+}
+
+/// Runs the right validation for one report. Returns the list of
+/// failures (empty = pass).
+pub fn validate_report(spec: &ReportSpec, doc: &Json, min_speedup: f64) -> Vec<String> {
+    match spec.kind {
+        ReportKind::Speedup => {
+            check_report(doc, spec.file, spec.entry_key, &spec.expected, min_speedup)
+        }
+        ReportKind::Finetune => {
+            let mut errs =
+                check_report(doc, spec.file, spec.entry_key, &spec.expected, min_speedup);
+            errs.extend(check_finetune_accuracy(doc, spec.file));
+            errs
+        }
+        ReportKind::FaultCampaign => {
+            check_fault_report(doc, spec.file, spec.entry_key, &spec.expected)
+        }
+    }
+}
+
+/// Every report `bench_report` writes, with its validation kind and
+/// expected entries. `bench_check` iterates this list, so a report added
+/// here is automatically gated — and the tests below assert structural
+/// invariants over the whole list instead of hard-coding its length.
 ///
 /// `ffnn-1x28` gets a `0.75` floor factor: the dense-only training step
 /// was already near parity when batched (PR 4 recorded 1.01x — plan
 /// compilation is cheap without conv transposes), so its speedup sits
 /// inside run-to-run noise and a full-strength floor would flag jitter
 /// as regression.
-pub fn expected_reports() -> [(&'static str, &'static str, Vec<ExpectedEntry>); 3] {
-    [
-        (
-            "BENCH_attacks.json",
-            "attack",
-            vec![
+pub fn expected_reports() -> Vec<ReportSpec> {
+    vec![
+        ReportSpec {
+            file: "BENCH_attacks.json",
+            entry_key: "attack",
+            kind: ReportKind::Speedup,
+            expected: vec![
                 ExpectedEntry::new("FGM-linf"),
                 ExpectedEntry::new("BIM-linf"),
                 ExpectedEntry::new("PGD-linf"),
                 ExpectedEntry::new("PGD-l2"),
             ],
-        ),
-        (
-            "BENCH_train.json",
-            "model",
-            vec![
+        },
+        ReportSpec {
+            file: "BENCH_train.json",
+            entry_key: "model",
+            kind: ReportKind::Speedup,
+            expected: vec![
                 ExpectedEntry::with_floor_factor("ffnn-1x28", 0.75),
                 ExpectedEntry::new("lenet5-1x28"),
             ],
-        ),
-        (
-            "BENCH_finetune.json",
-            "workload",
-            vec![ExpectedEntry::new("finetune_grad_batch")],
-        ),
+        },
+        ReportSpec {
+            file: "BENCH_finetune.json",
+            entry_key: "workload",
+            kind: ReportKind::Finetune,
+            expected: vec![ExpectedEntry::new("finetune_grad_batch")],
+        },
+        ReportSpec {
+            file: "BENCH_faults.json",
+            entry_key: "mult",
+            kind: ReportKind::FaultCampaign,
+            expected: vec![
+                ExpectedEntry::new("1JFF"),
+                ExpectedEntry::new("17KS"),
+                ExpectedEntry::new("L40"),
+            ],
+        },
     ]
 }
 
@@ -470,9 +611,120 @@ mod tests {
         assert_eq!(check_finetune_accuracy(&missing, "f").len(), 1);
     }
 
+    fn healthy_fault_doc() -> Json {
+        Json::parse(
+            r#"{
+  "bench": "fault_campaign",
+  "campaign": {"n_faults": 6, "seed": 64023},
+  "lut_rebuild": {"floor_per_s": 5.0, "meets_floor": true},
+  "results": [
+    {"mult": "1JFF", "sites": 1000, "clean": 0.9, "adv": 0.5,
+     "fault_clean_mean": 0.85, "fault_clean_worst": 0.6,
+     "fault_adv_mean": 0.45, "fault_adv_worst": 0.2}
+  ]
+}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_check_passes_a_healthy_report() {
+        let errs = check_fault_report(
+            &healthy_fault_doc(),
+            "f",
+            "mult",
+            &[ExpectedEntry::new("1JFF")],
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn fault_check_flags_broken_reports() {
+        // Missed floor.
+        let doc = Json::parse(
+            r#"{"campaign": {"n_faults": 2},
+                "lut_rebuild": {"floor_per_s": 5.0, "meets_floor": false},
+                "results": []}"#,
+        )
+        .unwrap();
+        let errs = check_fault_report(&doc, "f", "mult", &[ExpectedEntry::new("1JFF")]);
+        assert!(
+            errs.iter().any(|e| e.contains("below the floor")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("1JFF")), "{errs:?}");
+
+        // Empty campaign and out-of-range accuracy.
+        let doc = Json::parse(
+            r#"{"campaign": {"n_faults": 0},
+                "lut_rebuild": {"floor_per_s": 5.0, "meets_floor": true},
+                "results": [
+                  {"mult": "1JFF", "clean": 1.5, "adv": 0.5,
+                   "fault_clean_mean": 0.8, "fault_clean_worst": 0.6,
+                   "fault_adv_mean": 0.4, "fault_adv_worst": 0.2}
+                ]}"#,
+        )
+        .unwrap();
+        let errs = check_fault_report(&doc, "f", "mult", &[]);
+        assert!(errs.iter().any(|e| e.contains("n_faults")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("outside [0, 1]")),
+            "{errs:?}"
+        );
+
+        // Structurally missing pieces.
+        let doc = Json::parse(r#"{"bench": "fault_campaign"}"#).unwrap();
+        let errs = check_fault_report(&doc, "f", "mult", &[]);
+        assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+
+    #[test]
+    fn validate_report_dispatches_by_kind() {
+        let spec = ReportSpec {
+            file: "f",
+            entry_key: "mult",
+            kind: ReportKind::FaultCampaign,
+            expected: vec![ExpectedEntry::new("1JFF")],
+        };
+        assert!(validate_report(&spec, &healthy_fault_doc(), 0.8).is_empty());
+        // A Finetune spec on the same doc fails both the speedup rows
+        // and the accuracy gate.
+        let ft = ReportSpec {
+            kind: ReportKind::Finetune,
+            ..spec
+        };
+        assert!(!validate_report(&ft, &healthy_fault_doc(), 0.8).is_empty());
+    }
+
     #[test]
     fn default_floor_documented() {
         assert_eq!(DEFAULT_MIN_SPEEDUP, 0.8);
-        assert_eq!(expected_reports().len(), 3);
+    }
+
+    /// Structural invariants over the whole report list, replacing the
+    /// old hard-coded length-3 assertion: adding a bench file extends
+    /// the list without rewriting this test.
+    #[test]
+    fn expected_reports_are_well_formed() {
+        let reports = expected_reports();
+        assert!(
+            reports.iter().any(|r| r.file == "BENCH_faults.json"),
+            "fault campaign report must be gated"
+        );
+        for (i, spec) in reports.iter().enumerate() {
+            assert!(spec.file.starts_with("BENCH_"), "{}", spec.file);
+            assert!(spec.file.ends_with(".json"), "{}", spec.file);
+            assert!(!spec.entry_key.is_empty());
+            assert!(
+                !spec.expected.is_empty(),
+                "{} expects no entries",
+                spec.file
+            );
+            assert!(
+                reports[..i].iter().all(|r| r.file != spec.file),
+                "duplicate report file {}",
+                spec.file
+            );
+        }
     }
 }

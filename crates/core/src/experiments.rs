@@ -14,6 +14,7 @@ use axtensor::Tensor;
 use axutil::AxError;
 
 use crate::eval::{paper_eps_grid, robustness_grid, EvalOpts};
+use crate::faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 use crate::grid::RobustnessGrid;
 use crate::quantstudy::{quantization_study, QuantStudy};
 use crate::transfer::{transferability, TransferSource, TransferTable, TransferVictim};
@@ -187,6 +188,34 @@ pub fn run_fig7(
         data,
         opts,
     )
+}
+
+/// Robustness under stuck-at faults: a sampled single-fault campaign per
+/// named registry multiplier, evaluated against the fault-free baseline
+/// (no paper figure — the extension motivated in the ROADMAP).
+///
+/// # Errors
+///
+/// Propagates configuration errors (empty name list, empty campaign)
+/// from [`fault_robustness_sweep`]; panics if a name is not registered.
+pub fn run_fault_sweep(
+    source: &Sequential,
+    victim: &QuantModel,
+    data: &Dataset,
+    names: &[&str],
+    opts: &FaultSweepOpts,
+) -> Result<FaultReport, AxError> {
+    let reg = Registry::standard();
+    let mults: Vec<(String, axcirc::Netlist)> = names
+        .iter()
+        .map(|name| {
+            (
+                (*name).to_owned(),
+                reg.find(name).expect("registered").build_netlist(),
+            )
+        })
+        .collect();
+    fault_robustness_sweep(source, victim, &mults, data, opts)
 }
 
 /// Fig 8: quantized vs non-quantized accurate LeNet-5, all ten attacks.
@@ -428,6 +457,31 @@ mod tests {
         }
         assert!(panels[0].mults()[0].starts_with("AccSign"));
         assert!(panels[1].mults()[1].starts_with("Ax"));
+    }
+
+    #[test]
+    fn fault_sweep_driver_runs_on_registry_names() {
+        let train = SynthMnist::generate(&MnistConfig {
+            n: 300,
+            seed: 64,
+            ..Default::default()
+        });
+        let test = SynthMnist::generate(&MnistConfig {
+            n: 24,
+            seed: 65,
+            ..Default::default()
+        });
+        let ffnn = quick_ffnn(&train);
+        let q = quantize_victim(&ffnn, &train, Placement::All).unwrap();
+        let opts = FaultSweepOpts {
+            n_eval: 12,
+            n_faults: 2,
+            ..Default::default()
+        };
+        let report = run_fault_sweep(&ffnn, &q, &test, &["1JFF", "L40"], &opts).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].mult, "1JFF");
+        assert_eq!(report.rows[0].faults.len(), 2);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`retrain`] — the fine-tuning defense study (Sec. V): clean and
 //!   adversarial accuracy before vs. after approximation-aware
 //!   retraining, per victim multiplier.
+//! * [`faults`] — robustness under stuck-at hardware faults: sampled
+//!   single-fault campaigns per multiplier, re-characterized into
+//!   defective LUTs and measured against the fault-free baseline.
 //! * [`quantstudy`] — the quantization study (Fig 8).
 //! * [`experiments`] — per-figure drivers with the paper's epsilon grid
 //!   and multiplier sets.
@@ -58,6 +61,7 @@
 pub mod algorithm1;
 pub mod eval;
 pub mod experiments;
+pub mod faults;
 pub mod grid;
 pub mod quantstudy;
 pub mod retrain;
@@ -66,4 +70,5 @@ pub mod threat;
 pub mod transfer;
 
 pub use eval::{robustness_grid, EvalOpts};
+pub use faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 pub use grid::RobustnessGrid;

@@ -1,8 +1,9 @@
 //! Quickstart: the paper's pipeline end to end in one file.
 //!
 //! Trains a small FFNN on synthetic MNIST, quantizes it to int8, swaps in
-//! an approximate multiplier, and compares robustness of the accurate and
-//! approximate victims under a PGD-linf attack.
+//! an approximate multiplier, compares robustness of the accurate and
+//! approximate victims under a PGD-linf attack, and finishes with a
+//! stuck-at fault-injection campaign over the multiplier circuits.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -13,6 +14,8 @@ use axdnn::nn::train::{fit, TrainConfig};
 use axdnn::nn::zoo;
 use axdnn::quant::{Placement, QuantModel};
 use axdnn::robust::eval::{robustness_grid, EvalOpts};
+use axdnn::robust::experiments::run_fault_sweep;
+use axdnn::robust::faults::FaultSweepOpts;
 use axdnn::tensor::Tensor;
 use axdnn::util::rng::Rng;
 
@@ -84,5 +87,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * grid.accuracy_loss(3, 0),
         100.0 * grid.accuracy_loss(3, 1),
     );
+
+    // 6. Robustness under faults: sample stuck-at faults in each
+    // multiplier circuit, rebuild the LUT per fault, and compare
+    // clean/adversarial accuracy against the fault-free baseline.
+    let faults = run_fault_sweep(
+        &model,
+        &victim,
+        &test,
+        &["1JFF", "L40"],
+        &FaultSweepOpts {
+            n_eval: 60,
+            n_faults: 4,
+            ..Default::default()
+        },
+    )?;
+    println!("\n{}", faults.to_text());
     Ok(())
 }
