@@ -27,6 +27,35 @@
 //! The only observable difference is the sign of exact zeros produced by
 //! padded positions, which compares equal under `==` and does not occur
 //! for the zero-padding-free paper architectures.
+//!
+//! # Kernel tiers
+//!
+//! Every GEMM-shaped kernel ships in two tiers selected by
+//! [`FloatKernel`] (mirroring `axmul::MulBackend`'s dispatch style):
+//!
+//! * [`FloatKernel::Reference`] — the scalar loops above, kept verbatim
+//!   as the bit-exact reference implementation;
+//! * [`FloatKernel::Tiled`] — register-tiled variants
+//!   ([`conv_forward_tiled`], [`dense_forward_tiled`],
+//!   [`dense_backward_tiled`], [`conv_backward_dx_tiled`],
+//!   [`conv_backward_params_tiled`]) that process 4×4 output blocks
+//!   (or 4-row groups) with independent accumulators sharing operand
+//!   loads.
+//!
+//! The tiled tier is **bit-identical** to the reference, not merely
+//! close: tiling here never reassociates a floating-point sum. Each
+//! output element keeps its own accumulator whose additions run in the
+//! exact reference order — a 4×4 tile is sixteen *independent* sequential
+//! chains advanced in lockstep, and the fused multi-row backward passes
+//! append to each destination element in the same ascending-row order as
+//! the reference's sequential passes (including `dense_backward`'s
+//! zero-gradient row skip, which is applied *before* grouping rows). The
+//! speedup comes from instruction-level parallelism (many independent
+//! FP dependency chains instead of one latency-bound chain) and 4× reuse
+//! of every loaded operand, not from vectorizing a single dot product —
+//! which is why no ULP tolerance and no thread-invariance caveat is
+//! needed anywhere. Plans resolve the tier once at compile time from the
+//! `AXDNN_KERNEL` environment variable (see [`FloatKernel::from_env`]).
 
 /// Extracts conv patches: row `p = oy * ow + ox` of `out` is the
 /// `[in_c * k * k]` receptive field of output position `(oy, ox)`,
@@ -316,6 +345,470 @@ pub fn conv_backward_params(
     }
 }
 
+/// Kernel-tier dispatch for the float GEMM family, mirroring
+/// `axmul::MulBackend`: resolved once (usually at plan compile time via
+/// [`FloatKernel::from_env`]) and then dispatched per call without
+/// re-reading the environment.
+///
+/// Both tiers produce **bit-identical** results — see the
+/// [module docs](self) for why tiling does not reassociate any sum — so
+/// the choice is purely a performance A/B switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FloatKernel {
+    /// The scalar loops ([`conv_forward`], [`dense_forward`], ...):
+    /// one accumulator chain at a time, kept as the reference tier.
+    Reference,
+    /// Register-tiled 4×4 / 4-row variants with independent
+    /// accumulators and shared operand loads. The default.
+    #[default]
+    Tiled,
+}
+
+impl FloatKernel {
+    /// Resolves the tier from the `AXDNN_KERNEL` environment variable:
+    /// `reference` (or `scalar`) selects [`FloatKernel::Reference`];
+    /// anything else — including unset — selects the default
+    /// [`FloatKernel::Tiled`].
+    pub fn from_env() -> Self {
+        match std::env::var("AXDNN_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") || v.eq_ignore_ascii_case("scalar") => {
+                FloatKernel::Reference
+            }
+            _ => FloatKernel::Tiled,
+        }
+    }
+
+    /// Stable lowercase name, for report fields and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            FloatKernel::Reference => "reference",
+            FloatKernel::Tiled => "tiled",
+        }
+    }
+
+    /// [`conv_forward`] under this tier.
+    pub fn conv_forward(
+        self,
+        w: &[f32],
+        bias: &[f32],
+        patch: &[f32],
+        rows: usize,
+        cols: usize,
+        out: &mut [f32],
+    ) {
+        match self {
+            FloatKernel::Reference => conv_forward(w, bias, patch, rows, cols, out),
+            FloatKernel::Tiled => conv_forward_tiled(w, bias, patch, rows, cols, out),
+        }
+    }
+
+    /// [`dense_forward`] under this tier.
+    pub fn dense_forward(self, w: &[f32], bias: &[f32], x: &[f32], out: &mut [f32]) {
+        match self {
+            FloatKernel::Reference => dense_forward(w, bias, x, out),
+            FloatKernel::Tiled => dense_forward_tiled(w, bias, x, out),
+        }
+    }
+
+    /// [`dense_backward`] under this tier.
+    pub fn dense_backward(
+        self,
+        w: &[f32],
+        g: &[f32],
+        x: &[f32],
+        dx: &mut [f32],
+        dw: Option<&mut [f32]>,
+        db: Option<&mut [f32]>,
+    ) {
+        match self {
+            FloatKernel::Reference => dense_backward(w, g, x, dx, dw, db),
+            FloatKernel::Tiled => dense_backward_tiled(w, g, x, dx, dw, db),
+        }
+    }
+
+    /// [`conv_backward_dx`] under this tier.
+    pub fn conv_backward_dx(
+        self,
+        wt: &[f32],
+        gpatch: &[f32],
+        rows: usize,
+        cols: usize,
+        dx: &mut [f32],
+    ) {
+        match self {
+            FloatKernel::Reference => conv_backward_dx(wt, gpatch, rows, cols, dx),
+            FloatKernel::Tiled => conv_backward_dx_tiled(wt, gpatch, rows, cols, dx),
+        }
+    }
+
+    /// [`conv_backward_params`] under this tier.
+    pub fn conv_backward_params(
+        self,
+        g: &[f32],
+        patch: &[f32],
+        rows: usize,
+        cols: usize,
+        dw: &mut [f32],
+        db: &mut [f32],
+    ) {
+        match self {
+            FloatKernel::Reference => conv_backward_params(g, patch, rows, cols, dw, db),
+            FloatKernel::Tiled => conv_backward_params_tiled(g, patch, rows, cols, dw, db),
+        }
+    }
+}
+
+/// Register-tile edge length: output blocks are `TILE × TILE`
+/// accumulators, row groups are `TILE` rows.
+const TILE: usize = 4;
+
+/// Shared register-tiled kernel behind [`conv_forward_tiled`] and
+/// [`conv_backward_dx_tiled`]: `out[i * n + j] = init_i + a[i] · b[j]`
+/// over the `m` rows of `a` and `n` rows of `b` (both `k` wide,
+/// row-major), where `init_i` is `bias[i]` or `0.0`.
+///
+/// Full 4×4 blocks advance sixteen independent accumulators per `t`
+/// step, sharing four `a` and four `b` loads; a leftover *pair* of rows
+/// runs as 2×4 blocks (shapes like LeNet-5's conv1 with `m = 6` would
+/// otherwise push a third of the work through single-row strips), and
+/// the remaining edges fall back to 4×1 / 1×4 strips and finally the
+/// scalar reference loop. Every accumulator's addition chain over `t` is
+/// sequential and ascending — identical to the reference.
+fn gemm_nt_tiled(
+    a: &[f32],
+    bias: Option<&[f32]>,
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert!(b.len() >= n * k);
+    let init = |i: usize| bias.map_or(0.0, |bv| bv[i]);
+    let mut i = 0;
+    while i + TILE <= m {
+        let ar: [&[f32]; TILE] = core::array::from_fn(|r| &a[(i + r) * k..(i + r) * k + k]);
+        let mut j = 0;
+        while j + TILE <= n {
+            let br: [&[f32]; TILE] = core::array::from_fn(|c| &b[(j + c) * k..(j + c) * k + k]);
+            let mut acc: [[f32; TILE]; TILE] = core::array::from_fn(|r| [init(i + r); TILE]);
+            for t in 0..k {
+                let av: [f32; TILE] = core::array::from_fn(|r| ar[r][t]);
+                let bv: [f32; TILE] = core::array::from_fn(|c| br[c][t]);
+                for r in 0..TILE {
+                    for c in 0..TILE {
+                        acc[r][c] += av[r] * bv[c];
+                    }
+                }
+            }
+            for r in 0..TILE {
+                for c in 0..TILE {
+                    out[(i + r) * n + j + c] = acc[r][c];
+                }
+            }
+            j += TILE;
+        }
+        while j < n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc: [f32; TILE] = core::array::from_fn(|r| init(i + r));
+            for (t, &bt) in brow.iter().enumerate() {
+                for r in 0..TILE {
+                    acc[r] += ar[r][t] * bt;
+                }
+            }
+            for r in 0..TILE {
+                out[(i + r) * n + j] = acc[r];
+            }
+            j += 1;
+        }
+        i += TILE;
+    }
+    if i + 2 <= m {
+        let ar: [&[f32]; 2] = core::array::from_fn(|r| &a[(i + r) * k..(i + r) * k + k]);
+        let mut j = 0;
+        while j + TILE <= n {
+            let br: [&[f32]; TILE] = core::array::from_fn(|c| &b[(j + c) * k..(j + c) * k + k]);
+            let mut acc: [[f32; TILE]; 2] = core::array::from_fn(|r| [init(i + r); TILE]);
+            for t in 0..k {
+                let av = [ar[0][t], ar[1][t]];
+                let bv: [f32; TILE] = core::array::from_fn(|c| br[c][t]);
+                for r in 0..2 {
+                    for c in 0..TILE {
+                        acc[r][c] += av[r] * bv[c];
+                    }
+                }
+            }
+            for r in 0..2 {
+                for c in 0..TILE {
+                    out[(i + r) * n + j + c] = acc[r][c];
+                }
+            }
+            j += TILE;
+        }
+        while j < n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = [init(i), init(i + 1)];
+            for (t, &bt) in brow.iter().enumerate() {
+                acc[0] += ar[0][t] * bt;
+                acc[1] += ar[1][t] * bt;
+            }
+            out[i * n + j] = acc[0];
+            out[(i + 1) * n + j] = acc[1];
+            j += 1;
+        }
+        i += 2;
+    }
+    while i < m {
+        let arow = &a[i * k..i * k + k];
+        let seed = init(i);
+        let mut j = 0;
+        while j + TILE <= n {
+            let br: [&[f32]; TILE] = core::array::from_fn(|c| &b[(j + c) * k..(j + c) * k + k]);
+            let mut acc = [seed; TILE];
+            for (t, &at) in arow.iter().enumerate() {
+                for c in 0..TILE {
+                    acc[c] += at * br[c][t];
+                }
+            }
+            for c in 0..TILE {
+                out[i * n + j + c] = acc[c];
+            }
+            j += TILE;
+        }
+        while j < n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = seed;
+            for (&wv, &xv) in arow.iter().zip(brow) {
+                acc += wv * xv;
+            }
+            out[i * n + j] = acc;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Register-tiled [`conv_forward`]: 4×4 `(out_channel, position)` blocks,
+/// accumulators seeded with the bias. Bit-identical to the reference.
+pub fn conv_forward_tiled(
+    w: &[f32],
+    bias: &[f32],
+    patch: &[f32],
+    rows: usize,
+    cols: usize,
+    out: &mut [f32],
+) {
+    let out_c = bias.len();
+    debug_assert_eq!(w.len(), out_c * cols);
+    gemm_nt_tiled(w, Some(bias), patch, out_c, rows, cols, out);
+}
+
+/// Register-tiled [`conv_backward_dx`]: the same 4×4 blocking over
+/// `(in_channel, position)`, accumulators seeded with `0.0`.
+/// Bit-identical to the reference.
+pub fn conv_backward_dx_tiled(
+    wt: &[f32],
+    gpatch: &[f32],
+    rows: usize,
+    cols: usize,
+    dx: &mut [f32],
+) {
+    let in_c = wt.len() / cols;
+    debug_assert_eq!(wt.len(), in_c * cols);
+    gemm_nt_tiled(wt, None, gpatch, in_c, rows, cols, dx);
+}
+
+/// Register-tiled [`dense_forward`]: 4-row output groups share every
+/// `x[t]` load across four independent dot-product chains; the bias is
+/// still added last. Bit-identical to the reference.
+pub fn dense_forward_tiled(w: &[f32], bias: &[f32], x: &[f32], out: &mut [f32]) {
+    let (out_dim, in_dim) = (bias.len(), x.len());
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    let mut o = 0;
+    while o + TILE <= out_dim {
+        let wr: [&[f32]; TILE] =
+            core::array::from_fn(|r| &w[(o + r) * in_dim..(o + r) * in_dim + in_dim]);
+        let mut acc = [0.0f32; TILE];
+        for (t, &xv) in x.iter().enumerate() {
+            for r in 0..TILE {
+                acc[r] += wr[r][t] * xv;
+            }
+        }
+        for r in 0..TILE {
+            out[o + r] = acc[r] + bias[o + r];
+        }
+        o += TILE;
+    }
+    while o < out_dim {
+        let wrow = &w[o * in_dim..(o + 1) * in_dim];
+        let mut acc = 0.0f32;
+        for (&wv, &xv) in wrow.iter().zip(x) {
+            acc += wv * xv;
+        }
+        out[o] = acc + bias[o];
+        o += 1;
+    }
+}
+
+/// Splits four strictly ascending rows of a `width`-column row-major
+/// matrix into simultaneous mutable slices (for the fused multi-row
+/// backward passes).
+fn rows4_mut(
+    buf: &mut [f32],
+    width: usize,
+    o: [usize; 4],
+) -> (&mut [f32], &mut [f32], &mut [f32], &mut [f32]) {
+    debug_assert!(o[0] < o[1] && o[1] < o[2] && o[2] < o[3]);
+    let (head0, tail0) = buf.split_at_mut(o[1] * width);
+    let r0 = &mut head0[o[0] * width..(o[0] + 1) * width];
+    let (head1, tail1) = tail0.split_at_mut((o[2] - o[1]) * width);
+    let r1 = &mut head1[..width];
+    let (head2, tail2) = tail1.split_at_mut((o[3] - o[2]) * width);
+    let r2 = &mut head2[..width];
+    let r3 = &mut tail2[..width];
+    (r0, r1, r2, r3)
+}
+
+/// Register-tiled [`dense_backward`]: the zero-gradient row skip is
+/// applied first (exactly like the reference), then the surviving rows
+/// are processed in fused ascending groups of four that share every
+/// `x[t]` / `dx[t]` access. Each `dw`/`dx` element still receives its
+/// additions in the reference order, so the result is bit-identical —
+/// including the skip's `-0.0` preservation.
+pub fn dense_backward_tiled(
+    w: &[f32],
+    g: &[f32],
+    x: &[f32],
+    dx: &mut [f32],
+    dw: Option<&mut [f32]>,
+    db: Option<&mut [f32]>,
+) {
+    let (out_dim, in_dim) = (g.len(), x.len());
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    if let Some(dw) = dw {
+        let mut idx = [0usize; TILE];
+        let mut gv4 = [0.0f32; TILE];
+        let mut cnt = 0usize;
+        for (o, &gv) in g.iter().enumerate() {
+            if gv == 0.0 {
+                continue;
+            }
+            idx[cnt] = o;
+            gv4[cnt] = gv;
+            cnt += 1;
+            if cnt == TILE {
+                let (r0, r1, r2, r3) = rows4_mut(dw, in_dim, idx);
+                let [g0, g1, g2, g3] = gv4;
+                for (t, &xv) in x.iter().enumerate() {
+                    r0[t] += g0 * xv;
+                    r1[t] += g1 * xv;
+                    r2[t] += g2 * xv;
+                    r3[t] += g3 * xv;
+                }
+                cnt = 0;
+            }
+        }
+        for r in 0..cnt {
+            let row = &mut dw[idx[r] * in_dim..(idx[r] + 1) * in_dim];
+            let gv = gv4[r];
+            for (d, &xv) in row.iter_mut().zip(x) {
+                *d += gv * xv;
+            }
+        }
+    }
+    if let Some(db) = db {
+        for (d, &gv) in db.iter_mut().zip(g) {
+            *d += gv;
+        }
+    }
+    dx[..in_dim].fill(0.0);
+    let mut idx = [0usize; TILE];
+    let mut gv4 = [0.0f32; TILE];
+    let mut cnt = 0usize;
+    for (o, &gv) in g.iter().enumerate() {
+        if gv == 0.0 {
+            continue;
+        }
+        idx[cnt] = o;
+        gv4[cnt] = gv;
+        cnt += 1;
+        if cnt == TILE {
+            let wr: [&[f32]; TILE] =
+                core::array::from_fn(|r| &w[idx[r] * in_dim..idx[r] * in_dim + in_dim]);
+            let [g0, g1, g2, g3] = gv4;
+            for (t, d) in dx[..in_dim].iter_mut().enumerate() {
+                let mut v = *d;
+                v += wr[0][t] * g0;
+                v += wr[1][t] * g1;
+                v += wr[2][t] * g2;
+                v += wr[3][t] * g3;
+                *d = v;
+            }
+            cnt = 0;
+        }
+    }
+    for r in 0..cnt {
+        let row = &w[idx[r] * in_dim..(idx[r] + 1) * in_dim];
+        let gv = gv4[r];
+        for (d, &wv) in dx[..in_dim].iter_mut().zip(row) {
+            *d += wv * gv;
+        }
+    }
+}
+
+/// Register-tiled [`conv_backward_params`]: four `dw` rows advance
+/// together so each im2col patch row is loaded once per group instead of
+/// once per output channel. Every `dw[o][j]` and `db[o]` chain still
+/// accumulates over positions `p` in ascending order — bit-identical to
+/// the reference.
+pub fn conv_backward_params_tiled(
+    g: &[f32],
+    patch: &[f32],
+    rows: usize,
+    cols: usize,
+    dw: &mut [f32],
+    db: &mut [f32],
+) {
+    let out_c = db.len();
+    debug_assert_eq!(dw.len(), out_c * cols);
+    debug_assert!(patch.len() >= rows * cols);
+    let mut o = 0;
+    while o + TILE <= out_c {
+        let (r0, r1, r2, r3) = rows4_mut(dw, cols, [o, o + 1, o + 2, o + 3]);
+        for p in 0..rows {
+            let g0 = g[o * rows + p];
+            let g1 = g[(o + 1) * rows + p];
+            let g2 = g[(o + 2) * rows + p];
+            let g3 = g[(o + 3) * rows + p];
+            db[o] += g0;
+            db[o + 1] += g1;
+            db[o + 2] += g2;
+            db[o + 3] += g3;
+            let prow = &patch[p * cols..(p + 1) * cols];
+            for (t, &a) in prow.iter().enumerate() {
+                r0[t] += g0 * a;
+                r1[t] += g1 * a;
+                r2[t] += g2 * a;
+                r3[t] += g3 * a;
+            }
+        }
+        o += TILE;
+    }
+    while o < out_c {
+        let wrow = &mut dw[o * cols..(o + 1) * cols];
+        for p in 0..rows {
+            let gv = g[o * rows + p];
+            db[o] += gv;
+            let prow = &patch[p * cols..(p + 1) * cols];
+            for (d, &a) in wrow.iter_mut().zip(prow) {
+                *d += gv * a;
+            }
+        }
+        o += 1;
+    }
+}
+
 /// ReLU forward: `out[i] = max(x[i], 0)`.
 pub fn relu(x: &[f32], out: &mut [f32]) {
     for (o, &v) in out.iter_mut().zip(x) {
@@ -472,6 +965,93 @@ mod tests {
         assert_eq!(dx[0], 1.0);
         assert_eq!(dx[5], 1.0);
         assert_eq!(dx[2], 0.0);
+    }
+
+    /// Deterministic pseudo-random fill so the tiled-vs-reference checks
+    /// cover non-trivial values without pulling in a RNG dependency.
+    fn fill(seed: u32, n: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_conv_forward_is_bit_exact() {
+        // Odd sizes on purpose: full tiles plus row and column edges.
+        let (out_c, rows, cols) = (6, 7, 13);
+        let w = fill(1, out_c * cols);
+        let bias = fill(2, out_c);
+        let patch = fill(3, rows * cols);
+        let mut reference = vec![0.0f32; out_c * rows];
+        let mut tiled = vec![0.0f32; out_c * rows];
+        conv_forward(&w, &bias, &patch, rows, cols, &mut reference);
+        conv_forward_tiled(&w, &bias, &patch, rows, cols, &mut tiled);
+        assert_eq!(reference, tiled);
+    }
+
+    #[test]
+    fn tiled_dense_pair_is_bit_exact() {
+        let (out_dim, in_dim) = (11, 17);
+        let w = fill(4, out_dim * in_dim);
+        let bias = fill(5, out_dim);
+        let x = fill(6, in_dim);
+        let mut reference = vec![0.0f32; out_dim];
+        let mut tiled = vec![0.0f32; out_dim];
+        dense_forward(&w, &bias, &x, &mut reference);
+        dense_forward_tiled(&w, &bias, &x, &mut tiled);
+        assert_eq!(reference, tiled);
+
+        // Backward with zeroed gradient rows so the skip-grouping runs.
+        let mut g = fill(7, out_dim);
+        for o in (0..out_dim).step_by(3) {
+            g[o] = 0.0;
+        }
+        let (mut dx_r, mut dx_t) = (vec![f32::NAN; in_dim], vec![f32::NAN; in_dim]);
+        let (mut dw_r, mut dw_t) = (fill(8, out_dim * in_dim), fill(8, out_dim * in_dim));
+        let (mut db_r, mut db_t) = (fill(9, out_dim), fill(9, out_dim));
+        dense_backward(&w, &g, &x, &mut dx_r, Some(&mut dw_r), Some(&mut db_r));
+        dense_backward_tiled(&w, &g, &x, &mut dx_t, Some(&mut dw_t), Some(&mut db_t));
+        assert_eq!(dx_r, dx_t);
+        assert_eq!(dw_r, dw_t);
+        assert_eq!(db_r, db_t);
+    }
+
+    #[test]
+    fn tiled_conv_backward_is_bit_exact() {
+        let (out_c, rows, cols) = (5, 9, 11);
+        let g = fill(10, out_c * rows);
+        let patch = fill(11, rows * cols);
+        let (mut dw_r, mut dw_t) = (fill(12, out_c * cols), fill(12, out_c * cols));
+        let (mut db_r, mut db_t) = (fill(13, out_c), fill(13, out_c));
+        conv_backward_params(&g, &patch, rows, cols, &mut dw_r, &mut db_r);
+        conv_backward_params_tiled(&g, &patch, rows, cols, &mut dw_t, &mut db_t);
+        assert_eq!(dw_r, dw_t);
+        assert_eq!(db_r, db_t);
+
+        let in_c = 3;
+        let wt = fill(14, in_c * cols);
+        let gpatch = fill(15, rows * cols);
+        let (mut dx_r, mut dx_t) = (vec![f32::NAN; in_c * rows], vec![f32::NAN; in_c * rows]);
+        conv_backward_dx(&wt, &gpatch, rows, cols, &mut dx_r);
+        conv_backward_dx_tiled(&wt, &gpatch, rows, cols, &mut dx_t);
+        assert_eq!(dx_r, dx_t);
+    }
+
+    #[test]
+    fn kernel_dispatch_routes_both_tiers() {
+        let patch = [1.0f32; 4];
+        for kernel in [FloatKernel::Reference, FloatKernel::Tiled] {
+            let mut out = [0.0f32; 1];
+            kernel.conv_forward(&[1.0, 2.0, 3.0, 4.0], &[0.5], &patch, 1, 4, &mut out);
+            assert_eq!(out, [10.5]);
+        }
+        assert_eq!(FloatKernel::default(), FloatKernel::Tiled);
+        assert_eq!(FloatKernel::Reference.name(), "reference");
+        assert_eq!(FloatKernel::Tiled.name(), "tiled");
     }
 
     #[test]

@@ -27,11 +27,30 @@
 //! instead of re-extracting), and the per-image gradients are reduced in
 //! a fixed left-to-right image order — the summed [`GradBuffer`] is
 //! bit-identical to the seed per-image [`Sequential::loss_and_grads`]
-//! fold for **any** thread chunking. Because a plan pre-transposes the
-//! current weights, optimizers must recompile it after every update;
-//! [`BackwardTables`] lets the geometry-only backward gather tables
-//! survive those recompiles ([`crate::train::fit`] holds one across all
-//! epochs).
+//! fold for **any** thread chunking.
+//!
+//! # Plan caching and in-place weights
+//!
+//! Compiling a plan is cheap but not free (shape arithmetic plus one
+//! conv-weight transpose per conv layer), so every multi-call driver in
+//! the workspace hoists one plan out of its loop: the attack loops and
+//! batch entry points compile once per crafting run, the sweep drivers
+//! (`core::eval`, `core::algorithm1`) compile once per grid, and
+//! one-shot wrappers ([`Sequential::forward`], [`Sequential::accuracy`])
+//! remain the only fresh-plan-per-call sites — by design, they are the
+//! convenience tier. Training goes one further: a borrowed plan
+//! pre-transposes the *current* weights, which would force a recompile
+//! after every optimizer step, so [`Sequential::plan_owned`] /
+//! [`FPlan::into_owned`] produce a plan that **owns** its parameters and
+//! is updated in place through [`FPlan::with_params_mut`] — the
+//! optimizer writes straight into the plan's tensors and only the
+//! changed conv layers' packed backward panels are re-derived
+//! ([`crate::optim::Sgd::step_plan_scaled`]). [`crate::train::fit`]
+//! compiles exactly one plan per run this way and writes the weights
+//! back with [`FPlan::store_weights_into`] at the end.
+//! [`BackwardTables`] still lets the geometry-only backward gather
+//! tables survive recompiles for callers that *do* rebuild borrowed
+//! plans (e.g. per-epoch requantization in `axquant::qtrain`).
 //!
 //! ```
 //! use axnn::zoo;
@@ -59,13 +78,61 @@ use crate::layer::Layer;
 use crate::loss::cross_entropy_with_grad;
 use crate::model::{GradBuffer, Sequential};
 
+/// A plan-held parameter tensor: borrowed from the compiled model (the
+/// zero-copy default) or owned by the plan itself so an optimizer can
+/// update it in place ([`FPlan::with_params_mut`]) without recompiling.
+#[derive(Debug)]
+enum PlanParam<'m> {
+    Borrowed(&'m Tensor),
+    Owned(Tensor),
+}
+
+impl PlanParam<'_> {
+    fn data(&self) -> &[f32] {
+        self.tensor().data()
+    }
+
+    fn dims(&self) -> &[usize] {
+        self.tensor().dims()
+    }
+
+    fn tensor(&self) -> &Tensor {
+        match self {
+            PlanParam::Borrowed(t) => t,
+            PlanParam::Owned(t) => t,
+        }
+    }
+
+    /// The owned tensor, for in-place updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a borrowed parameter — in-place updates require an
+    /// owned plan ([`FPlan::into_owned`]).
+    fn owned_mut(&mut self) -> &mut Tensor {
+        match self {
+            PlanParam::Borrowed(_) => {
+                panic!("plan borrows its parameters; compile an owned plan for in-place updates")
+            }
+            PlanParam::Owned(t) => t,
+        }
+    }
+
+    fn into_owned(self) -> PlanParam<'static> {
+        match self {
+            PlanParam::Borrowed(t) => PlanParam::Owned(t.clone()),
+            PlanParam::Owned(t) => PlanParam::Owned(t),
+        }
+    }
+}
+
 /// One resolved layer of a compiled plan.
 #[derive(Debug)]
 enum FStep<'m> {
     /// im2col + GEMM forward; transposed-GEMM input gradient.
     Conv {
-        w: &'m Tensor,
-        b: &'m Tensor,
+        w: PlanParam<'m>,
+        b: PlanParam<'m>,
         in_dims: [usize; 3],
         k: usize,
         stride: usize,
@@ -94,8 +161,8 @@ enum FStep<'m> {
     },
     /// Row GEMM with bias added last.
     Dense {
-        w: &'m Tensor,
-        b: &'m Tensor,
+        w: PlanParam<'m>,
+        b: PlanParam<'m>,
         in_dim: usize,
         out_dim: usize,
     },
@@ -114,7 +181,9 @@ enum FStep<'m> {
 /// shape.
 ///
 /// Cheap to build (shape arithmetic plus one conv-weight transpose per
-/// conv layer); holds references into the model's parameters. See the
+/// conv layer); holds references into the model's parameters — or owned
+/// copies after [`FPlan::into_owned`], which detaches the plan from the
+/// model so optimizers can update it in place. See the
 /// [module docs](self) for the execution model.
 #[derive(Debug)]
 pub struct FPlan<'m> {
@@ -130,6 +199,9 @@ pub struct FPlan<'m> {
     max_act: usize,
     /// Largest forward or backward im2col patch any conv step needs.
     max_patch: usize,
+    /// GEMM tier every kernel call dispatches through, resolved once at
+    /// compile time ([`exec::FloatKernel::from_env`]).
+    kernel: exec::FloatKernel,
 }
 
 /// Reusable buffers for executing an [`FPlan`]: the forward tape (one
@@ -165,13 +237,15 @@ struct GatherKey {
 /// Backward gather-index tables lifted out of a compiled [`FPlan`],
 /// re-installable into any later plan with identical conv geometry.
 ///
-/// The tables depend only on layer geometry — never on weights — but a
-/// plan itself borrows the model and pre-transposes its *current*
-/// weights, so training loops must recompile the plan after every
-/// optimizer step. Extracting the tables once
-/// ([`FPlan::backward_tables`]) and installing them into each fresh plan
-/// ([`FPlan::install_backward_tables`]) keeps the per-step recompile down
-/// to shape arithmetic plus the weight transpose. Cloning is cheap (the
+/// The tables depend only on layer geometry — never on weights — so they
+/// can outlive any particular plan. The float training loop no longer
+/// needs this (its owned plan is updated in place, see
+/// [`FPlan::with_params_mut`]), but callers that genuinely rebuild
+/// borrowed plans — per-epoch requantization in `axquant::qtrain`, or
+/// repeated sweeps over the same geometry — extract the tables once
+/// ([`FPlan::backward_tables`]) and install them into each fresh plan
+/// ([`FPlan::install_backward_tables`]), keeping the recompile down to
+/// shape arithmetic plus the weight transpose. Cloning is cheap (the
 /// tables are shared via [`Arc`]).
 #[derive(Debug, Clone, Default)]
 pub struct BackwardTables {
@@ -189,6 +263,36 @@ impl Sequential {
     /// first dense layer).
     pub fn plan(&self, input_dims: &[usize]) -> FPlan<'_> {
         FPlan::compile(self, input_dims)
+    }
+
+    /// Like [`Sequential::plan`], but the returned plan owns a copy of
+    /// every parameter tensor, detaching it from the model's lifetime so
+    /// an optimizer can update it in place ([`FPlan::with_params_mut`])
+    /// instead of recompiling after every step.
+    pub fn plan_owned(&self, input_dims: &[usize]) -> FPlan<'static> {
+        FPlan::compile(self, input_dims).into_owned()
+    }
+}
+
+/// Re-lays conv weights (`[out_c, in_c, k, k]` row-major data in `wd`)
+/// as the packed backward panel `[in_c, out_c * k * k]` in the flipped
+/// column order of [`exec::grad_im2col`]:
+/// `wt[c][(o, ky desc, kx desc)] = w[o][c][ky][kx]`. Shared between plan
+/// compilation and the in-place repack after a weight update.
+fn transpose_conv_weights(wd: &[f32], oc: usize, ic: usize, k: usize, wt: &mut [f32]) {
+    let bwd_cols = oc * k * k;
+    debug_assert_eq!(wt.len(), ic * bwd_cols);
+    for ci in 0..ic {
+        let dst = &mut wt[ci * bwd_cols..(ci + 1) * bwd_cols];
+        let mut j = 0;
+        for o in 0..oc {
+            for ky in (0..k).rev() {
+                for kx in (0..k).rev() {
+                    dst[j] = wd[((o * ic + ci) * k + ky) * k + kx];
+                    j += 1;
+                }
+            }
+        }
     }
 }
 
@@ -227,25 +331,13 @@ impl<'m> FPlan<'m> {
                     let (rows, cols) = (oh * ow, ic * k * k);
                     let (bwd_rows, bwd_cols) = (h * w, oc * k * k);
                     // Pre-transpose the weights into grad_im2col's flipped
-                    // column order: wt[c][(o, ky desc, kx desc)] = w[o][c][ky][kx].
-                    let wd = c.weight().data();
+                    // column order (the packed backward panel).
                     let mut wt = vec![0.0f32; ic * bwd_cols];
-                    for ci in 0..ic {
-                        let dst = &mut wt[ci * bwd_cols..(ci + 1) * bwd_cols];
-                        let mut j = 0;
-                        for o in 0..oc {
-                            for ky in (0..k).rev() {
-                                for kx in (0..k).rev() {
-                                    dst[j] = wd[((o * ic + ci) * k + ky) * k + kx];
-                                    j += 1;
-                                }
-                            }
-                        }
-                    }
+                    transpose_conv_weights(c.weight().data(), oc, ic, k, &mut wt);
                     max_patch = max_patch.max(rows * cols).max(bwd_rows * bwd_cols);
                     steps.push(FStep::Conv {
-                        w: c.weight(),
-                        b: c.bias(),
+                        w: PlanParam::Borrowed(c.weight()),
+                        b: PlanParam::Borrowed(c.bias()),
                         in_dims: [ic, h, w],
                         k,
                         stride,
@@ -267,8 +359,8 @@ impl<'m> FPlan<'m> {
                     };
                     assert_eq!(flat, in_dim, "dense input size mismatch");
                     steps.push(FStep::Dense {
-                        w: d.weight(),
-                        b: d.bias(),
+                        w: PlanParam::Borrowed(d.weight()),
+                        b: PlanParam::Borrowed(d.bias()),
                         in_dim,
                         out_dim,
                     });
@@ -307,6 +399,7 @@ impl<'m> FPlan<'m> {
             out_len: dims.iter().product(),
             max_act,
             max_patch,
+            kernel: exec::FloatKernel::from_env(),
         }
     }
 
@@ -318,6 +411,165 @@ impl<'m> FPlan<'m> {
     /// Length of the logits vector.
     pub fn out_len(&self) -> usize {
         self.out_len
+    }
+
+    /// The GEMM tier this plan dispatches through (resolved from
+    /// `AXDNN_KERNEL` at compile time).
+    pub fn kernel(&self) -> exec::FloatKernel {
+        self.kernel
+    }
+
+    /// Clones every borrowed parameter into the plan, detaching it from
+    /// the model's lifetime. The owned plan can then be updated in place
+    /// with [`FPlan::with_params_mut`] and written back with
+    /// [`FPlan::store_weights_into`]. Already-owned parameters move as
+    /// is, so the call is idempotent.
+    pub fn into_owned(self) -> FPlan<'static> {
+        let FPlan {
+            steps,
+            in_dims,
+            in_len,
+            act_lens,
+            out_len,
+            max_act,
+            max_patch,
+            kernel,
+        } = self;
+        let steps = steps
+            .into_iter()
+            .map(|step| match step {
+                FStep::Conv {
+                    w,
+                    b,
+                    in_dims,
+                    k,
+                    stride,
+                    pad,
+                    rows,
+                    cols,
+                    out_dims,
+                    wt,
+                    gather,
+                    bwd_rows,
+                    bwd_cols,
+                } => FStep::Conv {
+                    w: w.into_owned(),
+                    b: b.into_owned(),
+                    in_dims,
+                    k,
+                    stride,
+                    pad,
+                    rows,
+                    cols,
+                    out_dims,
+                    wt,
+                    gather,
+                    bwd_rows,
+                    bwd_cols,
+                },
+                FStep::Dense {
+                    w,
+                    b,
+                    in_dim,
+                    out_dim,
+                } => FStep::Dense {
+                    w: w.into_owned(),
+                    b: b.into_owned(),
+                    in_dim,
+                    out_dim,
+                },
+                FStep::AvgPool { k, in_dims } => FStep::AvgPool { k, in_dims },
+                FStep::Relu { len } => FStep::Relu { len },
+                FStep::Flatten => FStep::Flatten,
+            })
+            .collect();
+        FPlan {
+            steps,
+            in_dims,
+            in_len,
+            act_lens,
+            out_len,
+            max_act,
+            max_patch,
+            kernel,
+        }
+    }
+
+    /// Hands every parameter tensor (one `[weight, bias]` group per
+    /// conv/dense step, empty groups for the rest — the exact
+    /// [`GradBuffer`] layout) to `f` for in-place mutation, then
+    /// re-derives the packed backward panels of the conv layers so the
+    /// plan's pre-transposed weights stay consistent with the update.
+    /// Dense layers need no repack (their forward reads the row-major
+    /// weights directly), so a dense-only model's update is pure
+    /// write-through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan borrows its parameters — compile with
+    /// [`Sequential::plan_owned`] / [`FPlan::into_owned`] first.
+    pub fn with_params_mut<R>(&mut self, f: impl FnOnce(&mut [Vec<&mut Tensor>]) -> R) -> R {
+        let out = {
+            let mut params: Vec<Vec<&mut Tensor>> = self
+                .steps
+                .iter_mut()
+                .map(|step| match step {
+                    FStep::Conv { w, b, .. } | FStep::Dense { w, b, .. } => {
+                        vec![w.owned_mut(), b.owned_mut()]
+                    }
+                    _ => vec![],
+                })
+                .collect();
+            f(&mut params)
+        };
+        self.repack_conv_panels();
+        out
+    }
+
+    /// Recomputes every conv step's packed backward panel from its
+    /// (possibly just-updated) weights.
+    fn repack_conv_panels(&mut self) {
+        for step in &mut self.steps {
+            if let FStep::Conv { w, wt, .. } = step {
+                let &[oc, ic, k, _] = w.dims() else {
+                    unreachable!("conv weights are 4-D");
+                };
+                transpose_conv_weights(w.data(), oc, ic, k, wt);
+            }
+        }
+    }
+
+    /// Copies the plan's owned parameters back into `model` — the final
+    /// write-back after an in-place training run. `model` must be the
+    /// model the plan was compiled from (layer kinds and parameter
+    /// shapes are checked).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a borrowed plan, or when `model`'s structure does not
+    /// match the plan's.
+    pub fn store_weights_into(&self, model: &mut Sequential) {
+        let layers = model.layers_mut();
+        assert_eq!(layers.len(), self.steps.len(), "model/plan layer mismatch");
+        for (layer, step) in layers.iter_mut().zip(&self.steps) {
+            let mut params = layer.params_mut();
+            match step {
+                FStep::Conv { w, b, .. } | FStep::Dense { w, b, .. } => {
+                    assert_eq!(params.len(), 2, "model/plan layer mismatch");
+                    for (dst, src) in params.iter_mut().zip([w, b]) {
+                        let src = match src {
+                            PlanParam::Owned(t) => t,
+                            PlanParam::Borrowed(_) => {
+                                panic!("plan borrows its parameters; nothing to write back")
+                            }
+                        };
+                        assert_eq!(dst.dims(), src.dims(), "model/plan shape mismatch");
+                        dst.data_mut().copy_from_slice(src.data());
+                    }
+                }
+                _ => assert!(params.is_empty(), "model/plan layer mismatch"),
+            }
+        }
     }
 
     /// Pre-builds the backward gather-index tables
@@ -476,8 +728,8 @@ impl<'m> FPlan<'m> {
             let dst = &mut tail[0];
             match *step {
                 FStep::Conv {
-                    w,
-                    b,
+                    ref w,
+                    ref b,
                     in_dims,
                     k,
                     stride,
@@ -495,10 +747,17 @@ impl<'m> FPlan<'m> {
                         &mut fwd_patches[i]
                     };
                     exec::im2col(src, in_dims, k, stride, pad, rows, cols, pbuf);
-                    exec::conv_forward(w.data(), b.data(), pbuf, rows, cols, dst);
+                    self.kernel
+                        .conv_forward(w.data(), b.data(), pbuf, rows, cols, dst);
                 }
-                FStep::Dense { w, b, in_dim, .. } => {
-                    exec::dense_forward(w.data(), b.data(), &src[..in_dim], dst);
+                FStep::Dense {
+                    ref w,
+                    ref b,
+                    in_dim,
+                    ..
+                } => {
+                    self.kernel
+                        .dense_forward(w.data(), b.data(), &src[..in_dim], dst);
                 }
                 FStep::AvgPool { k, in_dims, .. } => {
                     exec::avgpool(src, in_dims, k, dst);
@@ -579,7 +838,7 @@ impl<'m> FPlan<'m> {
                             &fwd_patches[i]
                         };
                         let (wg, bg) = buf.layers[i].split_at_mut(1);
-                        exec::conv_backward_params(
+                        self.kernel.conv_backward_params(
                             g,
                             fp,
                             rows,
@@ -603,10 +862,14 @@ impl<'m> FPlan<'m> {
                             patch,
                         ),
                     }
-                    exec::conv_backward_dx(wt, patch, bwd_rows, bwd_cols, gdst);
+                    self.kernel
+                        .conv_backward_dx(wt, patch, bwd_rows, bwd_cols, gdst);
                 }
                 FStep::Dense {
-                    w, in_dim, out_dim, ..
+                    ref w,
+                    in_dim,
+                    out_dim,
+                    ..
                 } => {
                     let (dw, db) = match buf.as_deref_mut() {
                         Some(buf) => {
@@ -615,7 +878,14 @@ impl<'m> FPlan<'m> {
                         }
                         None => (None, None),
                     };
-                    exec::dense_backward(w.data(), &gsrc[..out_dim], &x[..in_dim], gdst, dw, db);
+                    self.kernel.dense_backward(
+                        w.data(),
+                        &gsrc[..out_dim],
+                        &x[..in_dim],
+                        gdst,
+                        dw,
+                        db,
+                    );
                 }
                 FStep::AvgPool { k, in_dims, .. } => {
                     let [c, h, w] = in_dims;

@@ -12,17 +12,24 @@
 //! setting (the seed `par_reduce` summed per-worker partials, which tied
 //! the float accumulation order to the thread count).
 //!
-//! A plan pre-transposes the current conv weights, so [`fit`] recompiles
-//! it after every optimizer step; the geometry-only backward gather
-//! tables are carried across those recompiles in a
-//! [`BackwardTables`] cache held for the whole run.
+//! [`fit`] compiles exactly **one** plan per run: an owned-weights plan
+//! ([`Sequential::plan_owned`]) that the optimizer updates in place
+//! through [`Sgd::step_plan_scaled`] — the update writes straight into
+//! the plan's parameter tensors and re-derives only the conv layers'
+//! packed backward panels, so there is no per-step recompile at all (and
+//! the backward gather tables, built once by the first batch, trivially
+//! persist). The per-epoch accuracy runs on the same plan; the trained
+//! weights are written back to the model once at the end
+//! ([`FPlan::store_weights_into`](crate::plan::FPlan::store_weights_into)).
+//! Every floating-point operation matches the old
+//! recompile-per-step loop exactly, so histories and weights are
+//! unchanged (pinned by `tests/prop_train.rs`).
 
 use axdata::Dataset;
 use axtensor::Tensor;
 
 use crate::model::{GradBuffer, Sequential};
 use crate::optim::Sgd;
-use crate::plan::BackwardTables;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,14 +110,15 @@ pub fn batch_gradient(model: &Sequential, data: &Dataset, indices: &[usize]) -> 
 /// `AXDNN_THREADS` setting, because per-example gradients are always
 /// reduced in example order (see the [module docs](self)).
 ///
-/// The plan is recompiled after each optimizer step (it pre-transposes
-/// the current conv weights), but the geometry-only backward gather
-/// tables are built once and re-installed into every recompile.
+/// The whole run executes on **one** owned-weights plan: the optimizer
+/// updates it in place ([`Sgd::step_plan_scaled`], which repacks only
+/// the conv backward panels), the per-epoch accuracy reads it directly,
+/// and the trained weights are written back to `model` once at the end.
 pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHistory {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let in_dims = data.image(0).dims().to_vec();
     let mut opt = Sgd::new(model, cfg.lr, cfg.momentum, cfg.weight_decay);
-    let mut tables: Option<BackwardTables> = None;
+    let mut plan = model.plan_owned(&in_dims);
     let mut history = TrainHistory {
         losses: Vec::with_capacity(cfg.epochs),
         accuracies: Vec::with_capacity(cfg.epochs),
@@ -123,25 +131,20 @@ pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHi
         let mut loss_acc = 0.0f64;
         for batch in &batches {
             let n = batch.len();
-            // The plan borrows the model, so it lives in a scope that
-            // ends before the optimizer mutates the weights.
-            let (loss_sum, grads) = {
-                let plan = model.plan(&in_dims);
-                match &tables {
-                    Some(t) => plan.install_backward_tables(t),
-                    None => tables = Some(plan.backward_tables()),
-                }
-                plan.loss_and_param_grads_batch(
-                    n,
-                    |k| data.image(batch[k]),
-                    |k| data.label(batch[k]),
-                )
-            };
-            opt.step_scaled(model, &grads, 1.0 / n as f32);
+            let (loss_sum, grads) = plan.loss_and_param_grads_batch(
+                n,
+                |k| data.image(batch[k]),
+                |k| data.label(batch[k]),
+            );
+            opt.step_plan_scaled(&mut plan, &grads, 1.0 / n as f32);
             loss_acc += (loss_sum / n as f32) as f64;
         }
         let mean_loss = (loss_acc / batches.len() as f64) as f32;
-        let acc = model.accuracy(data, 2000);
+        // Same sample cap and counting as `Sequential::accuracy`, on the
+        // in-place plan (the model still holds the initial weights).
+        let n_eval = data.len().min(2000);
+        let correct = plan.count_correct(n_eval, |i| data.image(i), |i| data.label(i));
+        let acc = correct as f32 / n_eval as f32;
         history.losses.push(mean_loss);
         history.accuracies.push(acc);
         if cfg.verbose {
@@ -156,6 +159,7 @@ pub fn fit(model: &mut Sequential, data: &Dataset, cfg: &TrainConfig) -> TrainHi
         }
         opt.set_lr((opt.lr() * cfg.lr_decay).max(1e-5));
     }
+    plan.store_weights_into(model);
     history
 }
 

@@ -84,6 +84,14 @@ pub(crate) fn im2col(
 ///
 /// `mul` is a concrete closure per [`MulBackend`] variant, so each call
 /// site monomorphizes to a branch-free dot product.
+///
+/// The patch is processed in blocks of four rows with unrolled,
+/// independent accumulators: each weight magnitude/sign pair is loaded
+/// once per block instead of once per row, and the four i32 chains give
+/// the backend's multiplier loop instruction-level parallelism. Integer
+/// accumulation is associative, so the blocking is bit-identical to the
+/// plain row-at-a-time loop (kept below as the remainder path), and the
+/// `sink` call order — `o` ascending, then `p` ascending — is unchanged.
 fn gemm_core<F: Fn(u8, u8) -> u16, S: FnMut(usize, i32)>(
     w: &QWeights,
     patch: &[u8],
@@ -92,6 +100,7 @@ fn gemm_core<F: Fn(u8, u8) -> u16, S: FnMut(usize, i32)>(
     mul: F,
     mut sink: S,
 ) {
+    const BLOCK: usize = 4;
     let out_c = w.bias_q.len();
     debug_assert!(patch.len() >= rows * cols);
     debug_assert_eq!(w.mag.len(), out_c * cols);
@@ -99,13 +108,30 @@ fn gemm_core<F: Fn(u8, u8) -> u16, S: FnMut(usize, i32)>(
         let mags = &w.mag[o * cols..(o + 1) * cols];
         let signs = &w.sign[o * cols..(o + 1) * cols];
         let bias = w.bias_q[o];
-        for p in 0..rows {
+        let mut p = 0;
+        while p + BLOCK <= rows {
+            let pr: [&[u8]; BLOCK] =
+                core::array::from_fn(|r| &patch[(p + r) * cols..(p + r + 1) * cols]);
+            let mut acc = [bias; BLOCK];
+            for (j, (&mg, &sg)) in mags.iter().zip(signs).enumerate() {
+                let s = sg as i32;
+                for (a, row) in acc.iter_mut().zip(&pr) {
+                    *a += s * mul(mg, row[j]) as i32;
+                }
+            }
+            for (r, &a) in acc.iter().enumerate() {
+                sink(o * rows + p + r, a);
+            }
+            p += BLOCK;
+        }
+        while p < rows {
             let prow = &patch[p * cols..(p + 1) * cols];
             let mut acc = bias;
             for ((&mg, &sg), &a) in mags.iter().zip(signs).zip(prow) {
                 acc += sg as i32 * mul(mg, a) as i32;
             }
             sink(o * rows + p, acc);
+            p += 1;
         }
     }
 }

@@ -151,6 +151,10 @@ pub struct QTrainPlan<'m> {
     max_patch_f32: usize,
     /// Zero gradients in the shadow model's layout, cloned per use.
     grads_template: GradBuffer,
+    /// Float GEMM tier the STE backward dispatches through, resolved
+    /// once at compile time ([`fexec::FloatKernel::from_env`]) — the
+    /// same dispatch story as [`axnn::plan::FPlan`].
+    kernel: fexec::FloatKernel,
 }
 
 /// Reusable buffers for executing a [`QTrainPlan`]: the `u8` forward tape
@@ -340,6 +344,7 @@ impl<'m> QTrainPlan<'m> {
             max_patch_u8,
             max_patch_f32,
             grads_template: shadow.zero_grads(),
+            kernel: fexec::FloatKernel::from_env(),
         }
     }
 
@@ -532,7 +537,7 @@ impl<'m> QTrainPlan<'m> {
                         patch_f32,
                     );
                     let (wg, bg) = buf.layers[float_idx].split_at_mut(1);
-                    fexec::conv_backward_params(
+                    self.kernel.conv_backward_params(
                         &gsrc[..out_len],
                         patch_f32,
                         rows,
@@ -541,7 +546,8 @@ impl<'m> QTrainPlan<'m> {
                         bg[0].data_mut(),
                     );
                     fexec::grad_im2col_indexed(&gsrc[..out_len], gather, patch_f32);
-                    fexec::conv_backward_dx(wt_deq, patch_f32, bwd_rows, bwd_cols, gdst);
+                    self.kernel
+                        .conv_backward_dx(wt_deq, patch_f32, bwd_rows, bwd_cols, gdst);
                 }
                 TStep::Dense {
                     float_idx,
@@ -558,7 +564,7 @@ impl<'m> QTrainPlan<'m> {
                     }
                     dequantize(&x_codes[..in_dim], in_scale, &mut deq[..in_dim]);
                     let (wg, bg) = buf.layers[float_idx].split_at_mut(1);
-                    fexec::dense_backward(
+                    self.kernel.dense_backward(
                         w_deq,
                         &gsrc[..out_dim],
                         &deq[..in_dim],

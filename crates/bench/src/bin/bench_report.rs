@@ -29,6 +29,13 @@
 //! byte-identical across runs and thread counts. Writes
 //! `BENCH_faults.json`.
 //!
+//! Part 5 is the raw GEMM kernel-tier comparison: the scalar reference
+//! loops of [`axnn::exec`] against the register-tiled micro-kernels
+//! ([`axnn::exec::FloatKernel::Tiled`]) on the exact hot shapes of the
+//! zoo models (LeNet-5's two big conv GEMMs, the FFNN's first dense
+//! layer). Both tiers are asserted bit-identical before timing. Writes
+//! `BENCH_gemm.json`.
+//!
 //! Every `BENCH_*.json` this binary writes is validated by the
 //! `bench_check` regression gate in CI.
 //!
@@ -37,7 +44,8 @@
 //! sizes the fine-tuning training set; `AXDNN_BENCH_FAULT_EVAL`
 //! (default 60) and `AXDNN_BENCH_FAULTS` (default 6) size the fault
 //! campaign; `AXDNN_BENCH_MIN_LUT_REBUILD` (default 5.0 rebuilds/s)
-//! sets the LUT-rebuild throughput floor.
+//! sets the LUT-rebuild throughput floor; `AXDNN_BENCH_GEMM_ITERS`
+//! (default 200) sets the inner repetitions of each timed GEMM call.
 
 use std::time::Instant;
 
@@ -210,7 +218,160 @@ fn main() {
 
     train_report(&images, &labels, n_images, reps, threads);
     finetune_report(reps, threads);
+    gemm_report(reps);
     faults_report(reps, orig_threads);
+}
+
+/// One GEMM workload of part 5: a conv im2col product or a dense matvec
+/// on a zoo-model shape.
+enum GemmWork {
+    /// `out[o * rows + p] = bias[o] + w[o] · patch[p]`.
+    Conv { oc: usize, rows: usize, cols: usize },
+    /// `out = W x + b`.
+    Dense { out_dim: usize, in_dim: usize },
+}
+
+impl GemmWork {
+    fn macs(&self) -> usize {
+        match *self {
+            GemmWork::Conv { oc, rows, cols } => oc * rows * cols,
+            GemmWork::Dense { out_dim, in_dim } => out_dim * in_dim,
+        }
+    }
+}
+
+/// Part 5: the raw kernel tiers — [`axnn::exec`]'s scalar reference
+/// loops vs the register-tiled micro-kernels — on the hot GEMM shapes of
+/// the zoo models: LeNet-5's conv1 (6×576×25) and conv2 (16×64×150)
+/// im2col products and the FFNN's first dense layer (300×784). The tiled
+/// tier preserves every per-element accumulation chain, so both outputs
+/// are asserted **bit-identical** before anything is timed. Each timed
+/// call repeats the kernel `AXDNN_BENCH_GEMM_ITERS` times (default 200)
+/// so per-call microseconds accumulate into stable milliseconds; the
+/// JSON carries ms and speedup like the other speedup reports, and the
+/// (jittery) MAC throughput goes to stderr only. Writes
+/// `BENCH_gemm.json`.
+fn gemm_report(reps: usize) {
+    use axnn::exec;
+
+    let iters = env_usize("AXDNN_BENCH_GEMM_ITERS", 200);
+    let mut rng = Rng::seed_from_u64(60);
+    let mut fill = |n: usize| {
+        let mut v = vec![0.0f32; n];
+        rng.fill_range_f32(&mut v, -1.0, 1.0);
+        v
+    };
+
+    let shapes = [
+        (
+            "lenet5-conv1-6x576x25",
+            GemmWork::Conv {
+                oc: 6,
+                rows: 576,
+                cols: 25,
+            },
+        ),
+        (
+            "lenet5-conv2-16x64x150",
+            GemmWork::Conv {
+                oc: 16,
+                rows: 64,
+                cols: 150,
+            },
+        ),
+        (
+            "ffnn-dense1-300x784",
+            GemmWork::Dense {
+                out_dim: 300,
+                in_dim: 784,
+            },
+        ),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"gemm_kernels\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"units\": \"ms_per_iters_median\",\n");
+    json.push_str("  \"results\": [\n");
+    let mut text = format!(
+        "# GEMM kernel tiers: scalar reference vs register-tiled ({iters} calls per timing)\n\n\
+         | workload | reference ms | tiled ms | speedup |\n|---|---|---|---|\n"
+    );
+    for (i, (name, work)) in shapes.iter().enumerate() {
+        let (reference_ms, tiled_ms) = match *work {
+            GemmWork::Conv { oc, rows, cols } => {
+                let w = fill(oc * cols);
+                let bias = fill(oc);
+                let patch = fill(rows * cols);
+                let mut want = vec![0.0f32; oc * rows];
+                let mut got = vec![0.0f32; oc * rows];
+                exec::conv_forward(&w, &bias, &patch, rows, cols, &mut want);
+                exec::conv_forward_tiled(&w, &bias, &patch, rows, cols, &mut got);
+                assert_eq!(want, got, "{name}: tiled conv diverged from reference");
+                (
+                    median_ms(reps, || {
+                        for _ in 0..iters {
+                            exec::conv_forward(&w, &bias, &patch, rows, cols, &mut want);
+                        }
+                        std::hint::black_box(&mut want);
+                    }),
+                    median_ms(reps, || {
+                        for _ in 0..iters {
+                            exec::conv_forward_tiled(&w, &bias, &patch, rows, cols, &mut got);
+                        }
+                        std::hint::black_box(&mut got);
+                    }),
+                )
+            }
+            GemmWork::Dense { out_dim, in_dim } => {
+                let w = fill(out_dim * in_dim);
+                let bias = fill(out_dim);
+                let x = fill(in_dim);
+                let mut want = vec![0.0f32; out_dim];
+                let mut got = vec![0.0f32; out_dim];
+                exec::dense_forward(&w, &bias, &x, &mut want);
+                exec::dense_forward_tiled(&w, &bias, &x, &mut got);
+                assert_eq!(want, got, "{name}: tiled dense diverged from reference");
+                (
+                    median_ms(reps, || {
+                        for _ in 0..iters {
+                            exec::dense_forward(&w, &bias, &x, &mut want);
+                        }
+                        std::hint::black_box(&mut want);
+                    }),
+                    median_ms(reps, || {
+                        for _ in 0..iters {
+                            exec::dense_forward_tiled(&w, &bias, &x, &mut got);
+                        }
+                        std::hint::black_box(&mut got);
+                    }),
+                )
+            }
+        };
+        let speedup = reference_ms / tiled_ms;
+        let gmacs = |ms: f64| (work.macs() * iters) as f64 / (ms / 1e3) / 1e9;
+        eprintln!(
+            "[gemm {name}: reference {:.2} GMAC/s, tiled {:.2} GMAC/s, {speedup:.2}x]",
+            gmacs(reference_ms),
+            gmacs(tiled_ms)
+        );
+        json.push_str(&format!(
+            "    {{\"workload\": \"{name}\", \"reference_ms\": {reference_ms:.3}, \"tiled_ms\": {tiled_ms:.3}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < shapes.len() { "," } else { "" },
+        ));
+        text.push_str(&format!(
+            "| {name} | {reference_ms:.2} | {tiled_ms:.2} | {speedup:.2}x |\n"
+        ));
+        if tiled_ms >= reference_ms {
+            eprintln!("warning: tiled GEMM not faster for {name}");
+        }
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
+    eprintln!("[saved BENCH_gemm.json]");
+    bench::emit("bench_gemm", &text);
 }
 
 /// Part 2: one training gradient step, scalar vs batched, on the same

@@ -465,6 +465,18 @@ pub fn validate_report(spec: &ReportSpec, doc: &Json, min_speedup: f64) -> Vec<S
 /// compilation is cheap without conv transposes), so its speedup sits
 /// inside run-to-run noise and a full-strength floor would flag jitter
 /// as regression.
+///
+/// Factors above `1.0` *ratchet*: they hold a landed win so a revert to
+/// scalar parity fails the gate, each set ~25–30% under the measured
+/// speedup to absorb CI-runner jitter. The `BENCH_gemm.json` conv
+/// entries carry **1.875** — against the default `0.8` global floor that
+/// is an absolute `1.5` speedup, the acceptance bar for the
+/// register-tiled kernels on the LeNet-5 conv shapes (measured 1.66x /
+/// 1.94x; the dense shape measured 2.13x and holds `1.75`).
+/// `lenet5-1x28` in `BENCH_train.json` holds `1.3` (measured 1.40x once
+/// the in-place-plan + tiled-kernel path landed, up from 1.31x), and the
+/// attack rows hold `1.15`/`1.4` (measured 1.36x single-step FGM,
+/// 1.58–1.70x for the iterative attacks).
 pub fn expected_reports() -> Vec<ReportSpec> {
     vec![
         ReportSpec {
@@ -472,10 +484,10 @@ pub fn expected_reports() -> Vec<ReportSpec> {
             entry_key: "attack",
             kind: ReportKind::Speedup,
             expected: vec![
-                ExpectedEntry::new("FGM-linf"),
-                ExpectedEntry::new("BIM-linf"),
-                ExpectedEntry::new("PGD-linf"),
-                ExpectedEntry::new("PGD-l2"),
+                ExpectedEntry::with_floor_factor("FGM-linf", 1.15),
+                ExpectedEntry::with_floor_factor("BIM-linf", 1.4),
+                ExpectedEntry::with_floor_factor("PGD-linf", 1.4),
+                ExpectedEntry::with_floor_factor("PGD-l2", 1.4),
             ],
         },
         ReportSpec {
@@ -484,7 +496,17 @@ pub fn expected_reports() -> Vec<ReportSpec> {
             kind: ReportKind::Speedup,
             expected: vec![
                 ExpectedEntry::with_floor_factor("ffnn-1x28", 0.75),
-                ExpectedEntry::new("lenet5-1x28"),
+                ExpectedEntry::with_floor_factor("lenet5-1x28", 1.3),
+            ],
+        },
+        ReportSpec {
+            file: "BENCH_gemm.json",
+            entry_key: "workload",
+            kind: ReportKind::Speedup,
+            expected: vec![
+                ExpectedEntry::with_floor_factor("lenet5-conv1-6x576x25", 1.875),
+                ExpectedEntry::with_floor_factor("lenet5-conv2-16x64x150", 1.875),
+                ExpectedEntry::with_floor_factor("ffnn-dense1-300x784", 1.75),
             ],
         },
         ReportSpec {

@@ -12,12 +12,23 @@
 //! ([`multi_kernel_adversarial_accuracy`]), sharing input quantization
 //! and first-layer im2col work across the victims instead of re-running
 //! one scalar forward pass per (image, multiplier) cell.
+//!
+//! # Plan caching
+//!
+//! [`robustness_grid`] compiles the victim's [`axquant::plan::QPlan`]
+//! **once** and reuses it for every epsilon row (every crafted set shares
+//! the dataset's input shape), rather than re-deriving the quantized
+//! layer panels per `(attack, eps)` cell. The standalone entry points
+//! ([`adversarial_accuracy`], [`multi_kernel_adversarial_accuracy`])
+//! still compile per call for callers that only evaluate one set; sweep
+//! drivers looping over budgets should go through [`robustness_grid`] to
+//! get the cached plan.
 
 use axattack::suite::AttackId;
 use axdata::Dataset;
 use axmul::{MulKernel, MulLut};
 use axnn::Sequential;
-use axquant::QuantModel;
+use axquant::{QPlan, QuantModel};
 use axtensor::Tensor;
 use axutil::rng::Rng;
 
@@ -103,6 +114,17 @@ pub fn multi_kernel_adversarial_accuracy<K: MulKernel + ?Sized>(
         return vec![0.0; kernels.len()];
     }
     let plan = victim.plan(advs[0].0.dims());
+    column_accuracy(&plan, kernels, advs)
+}
+
+/// The multi-kernel accuracy core on an already-compiled plan: one
+/// prediction matrix, one correct-count per kernel column. `advs` must
+/// be non-empty and share the plan's input shape.
+fn column_accuracy<K: MulKernel + ?Sized>(
+    plan: &QPlan<'_>,
+    kernels: &[&K],
+    advs: &[(Tensor, usize)],
+) -> Vec<f32> {
     let preds = plan.predict_batch_indexed(advs.len(), |i| &advs[i].0, kernels);
     let mut correct = vec![0usize; kernels.len()];
     for (row, &(_, label)) in preds.iter().zip(advs) {
@@ -121,7 +143,8 @@ pub fn multi_kernel_adversarial_accuracy<K: MulKernel + ?Sized>(
 /// `mults` pairs display names with inference LUTs; by paper convention
 /// the first entry is the accurate part (M1). Each epsilon's crafted set
 /// is evaluated against all multiplier columns in one batched
-/// multi-kernel pass.
+/// multi-kernel pass, and the victim's plan is compiled once for the
+/// whole epsilon sweep (see the [module docs](self)).
 pub fn robustness_grid(
     source: &Sequential,
     victim: &QuantModel,
@@ -133,9 +156,17 @@ pub fn robustness_grid(
     assert!(!mults.is_empty(), "need at least one multiplier column");
     let kernels: Vec<&MulLut> = mults.iter().map(|(_, lut)| lut).collect();
     let mut acc = Vec::with_capacity(opts.eps_grid.len());
+    // One compiled plan for the whole sweep; lazily keyed off the first
+    // non-empty crafted set so an empty dataset never compiles anything.
+    let mut plan: Option<QPlan<'_>> = None;
     for &eps in &opts.eps_grid {
         let advs = craft_adversarial_set(source, attack_id, data, eps, opts.n_examples, opts.seed);
-        acc.push(multi_kernel_adversarial_accuracy(victim, &kernels, &advs));
+        if advs.is_empty() {
+            acc.push(vec![0.0; kernels.len()]);
+            continue;
+        }
+        let plan = plan.get_or_insert_with(|| victim.plan(advs[0].0.dims()));
+        acc.push(column_accuracy(plan, &kernels, &advs));
     }
     RobustnessGrid::new(
         attack_id.name(),
