@@ -1,0 +1,84 @@
+//! Typed failure modes of the serving engine.
+//!
+//! Every way a request can fail maps to one [`ServeError`] variant, so
+//! callers can branch on *what happened* (retry after a backoff, shrink
+//! the deadline budget, report a poisoned input) instead of parsing
+//! message strings. Failure is per-request: one request failing never
+//! takes the server, its batch-mates, or other in-flight requests down.
+
+use std::time::Duration;
+
+/// Why a request did not produce a [`Response`](crate::request::Response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a model the server does not host.
+    UnknownModel(String),
+    /// The request named a kernel the server does not host.
+    UnknownKernel(String),
+    /// The request's deadline budget ran out — at admission (the queue
+    /// could not absorb it in time), while queued, or while waiting for
+    /// its batch to execute. The request was *rejected*, never silently
+    /// queued past its budget.
+    DeadlineExceeded,
+    /// The bounded admission queue was full; the request was shed
+    /// immediately instead of growing an unbounded backlog.
+    /// `retry_after` is the server's backoff hint.
+    Overloaded {
+        /// How long the caller should wait before retrying.
+        retry_after: Duration,
+    },
+    /// The request's own execution panicked even after the failing batch
+    /// was bisected down to this single request and retried
+    /// `retries` times. Batch-mates of a panicking request do *not* get
+    /// this error — they are re-run and answered.
+    Poisoned {
+        /// Re-executions attempted before giving up.
+        retries: u32,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after:?}")
+            }
+            ServeError::Poisoned { retries } => {
+                write!(
+                    f,
+                    "request execution panicked ({retries} retries attempted)"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded {
+            retry_after: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("retry after"));
+        assert!(ServeError::UnknownModel("m".into())
+            .to_string()
+            .contains("m"));
+        assert!(ServeError::Poisoned { retries: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

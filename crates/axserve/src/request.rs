@@ -1,0 +1,131 @@
+//! Request and response types of the serving engine.
+//!
+//! A [`Request`] names a hosted model and kernel, carries the input
+//! tensor and an optional [`Deadline`] budget, and (for tests and load
+//! generators only) a [`FaultHook`] that injects worker-side failures
+//! deterministically. A [`Response`] carries the logits plus enough
+//! metadata — which kernel actually answered, whether the degradation
+//! policy swapped it, how large the batch was, how many retries the
+//! request survived — for callers and tests to audit the serving path.
+
+use std::time::Duration;
+
+use axtensor::Tensor;
+use axutil::time::Deadline;
+
+/// Test-only fault injection, evaluated by the worker *inside* its
+/// `catch_unwind` scope just before the request's forward pass.
+///
+/// Production callers leave this at [`FaultHook::None`]. The load
+/// generator and the robustness tests use the other variants to exercise
+/// panic isolation ([`FaultHook::Panic`]) and overload/deadline paths
+/// ([`FaultHook::Stall`]) deterministically, without needing a model
+/// that actually misbehaves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultHook {
+    /// No injected fault (the production value).
+    #[default]
+    None,
+    /// Panic when the worker executes this request. The worker's batch
+    /// is bisected until this request fails alone.
+    Panic,
+    /// Sleep this long before executing, simulating a slow request that
+    /// occupies a worker (drives overload and deadline expiry in tests).
+    Stall(Duration),
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Name of a hosted model (see `ServerBuilder::model`).
+    pub model: String,
+    /// Name of a hosted kernel (`"exact"` is always hosted).
+    pub kernel: String,
+    /// The input image, shaped for the model.
+    pub image: Tensor,
+    /// Latency budget; [`Deadline::Unbounded`] by default.
+    pub deadline: Deadline,
+    /// Test-only injected fault (see [`FaultHook`]).
+    pub hook: FaultHook,
+}
+
+impl Request {
+    /// A best-effort (no deadline) request.
+    pub fn new(model: impl Into<String>, kernel: impl Into<String>, image: Tensor) -> Self {
+        Request {
+            model: model.into(),
+            kernel: kernel.into(),
+            image,
+            deadline: Deadline::Unbounded,
+            hook: FaultHook::None,
+        }
+    }
+
+    /// Sets a deadline `budget` from now.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.deadline = Deadline::within(budget);
+        self
+    }
+
+    /// Sets an explicit deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a test-only fault hook.
+    #[must_use]
+    pub fn with_hook(mut self, hook: FaultHook) -> Self {
+        self.hook = hook;
+        self
+    }
+}
+
+/// A completed inference.
+///
+/// The logits are **bit-identical** to an offline
+/// [`QPlan::forward_batch_with`](axquant::QPlan::forward_batch_with)
+/// pass over the same image with the kernel named in
+/// [`Response::kernel`] — regardless of how the batcher coalesced the
+/// request or how many workers the server runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Float logits from the quantized engine.
+    pub logits: Tensor,
+    /// `argmax` of the logits.
+    pub class: usize,
+    /// The kernel that actually answered. Equal to the requested kernel
+    /// unless the degradation policy swapped in `"exact"` (then
+    /// [`Response::degraded`] is set, so callers always know which
+    /// numerics they got).
+    pub kernel: String,
+    /// Whether the degradation policy substituted the exact kernel.
+    pub degraded: bool,
+    /// How many requests shared this request's executed batch.
+    pub batch_size: usize,
+    /// How many times this request was re-executed (batch bisection
+    /// and/or transient-panic retries) before completing.
+    pub retries: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let r = Request::new("m", "k", Tensor::zeros(&[4]))
+            .with_budget(Duration::from_secs(1))
+            .with_hook(FaultHook::Panic);
+        assert_eq!(r.model, "m");
+        assert_eq!(r.kernel, "k");
+        assert!(!r.deadline.expired());
+        assert_eq!(r.hook, FaultHook::Panic);
+
+        let r2 = Request::new("m", "k", Tensor::zeros(&[4])).with_deadline(Deadline::expired_now());
+        assert!(r2.deadline.expired());
+        assert_eq!(r2.hook, FaultHook::None);
+    }
+}

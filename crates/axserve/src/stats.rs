@@ -1,0 +1,166 @@
+//! Server observability: lock-light counters and point-in-time
+//! snapshots.
+//!
+//! The hot paths (submit, batch execution, replies) touch only atomic
+//! counters; the one mutex guards the per-kernel batch-size table, taken
+//! once per *batch*, not per request. [`ServerStats`] is a plain owned
+//! snapshot, safe to hold across server shutdown and cheap to assert on
+//! in tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Batch-size accounting for one serving kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelBatchStats {
+    /// Kernel name (the kernel that *answered*, so degraded traffic
+    /// shows up under `"exact"`).
+    pub kernel: String,
+    /// Executed batches.
+    pub batches: u64,
+    /// Requests answered across those batches.
+    pub requests: u64,
+    /// Largest executed batch.
+    pub max_batch: u64,
+}
+
+/// A point-in-time snapshot of server health.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests currently buffered in the admission queue.
+    pub queue_depth: usize,
+    /// Requests admitted but not yet answered (queued in the batcher or
+    /// executing).
+    pub in_flight: u64,
+    /// Requests admitted past the bounded queue.
+    pub submitted: u64,
+    /// Requests answered with a [`Response`](crate::request::Response).
+    pub completed: u64,
+    /// Requests shed at admission because the queue was full.
+    pub shed_overload: u64,
+    /// Requests rejected because their deadline expired (at admission,
+    /// in the batcher, or before execution).
+    pub shed_deadline: u64,
+    /// Batch executions that panicked (before bisection/retry).
+    pub panics: u64,
+    /// Re-executions caused by bisection and singleton retries.
+    pub retries: u64,
+    /// Requests that ultimately failed as poisoned.
+    pub poisoned: u64,
+    /// Responses answered by the degraded (exact) path.
+    pub degraded: u64,
+    /// Times the degradation policy switched on.
+    pub degrade_activations: u64,
+    /// Executed batches.
+    pub batches: u64,
+    /// Per-kernel batch-size accounting, sorted by kernel name.
+    pub per_kernel: Vec<KernelBatchStats>,
+}
+
+impl ServerStats {
+    /// Mean executed batch size (0.0 when no batch ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The live counters behind [`ServerStats`]. Internal to the crate;
+/// snapshots are the public surface.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub in_flight: AtomicU64,
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub shed_deadline: AtomicU64,
+    pub panics: AtomicU64,
+    pub retries: AtomicU64,
+    pub poisoned: AtomicU64,
+    pub degraded: AtomicU64,
+    pub degrade_activations: AtomicU64,
+    pub batches: AtomicU64,
+    per_kernel: Mutex<HashMap<String, (u64, u64, u64)>>,
+}
+
+impl StatsInner {
+    /// Records one executed batch of `size` requests under `kernel`.
+    pub fn record_batch(&self, kernel: &str, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.per_kernel.lock().expect("per-kernel stats");
+        let entry = map.entry(kernel.to_owned()).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += size;
+        entry.2 = entry.2.max(size);
+    }
+
+    /// Snapshots every counter, with `queue_depth` supplied by the
+    /// admission queue's gauge.
+    pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
+        let mut per_kernel: Vec<KernelBatchStats> = self
+            .per_kernel
+            .lock()
+            .expect("per-kernel stats")
+            .iter()
+            .map(|(k, &(batches, requests, max_batch))| KernelBatchStats {
+                kernel: k.clone(),
+                batches,
+                requests,
+                max_batch,
+            })
+            .collect();
+        per_kernel.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+        ServerStats {
+            queue_depth,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            degrade_activations: self.degrade_activations.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            per_kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = StatsInner::default();
+        s.submitted.fetch_add(5, Ordering::Relaxed);
+        s.completed.fetch_add(4, Ordering::Relaxed);
+        s.record_batch("L40", 3);
+        s.record_batch("L40", 1);
+        s.record_batch("exact", 2);
+        let snap = s.snapshot(7);
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.per_kernel.len(), 2);
+        // Sorted by name: "L40" < "exact" (ASCII uppercase first).
+        assert_eq!(snap.per_kernel[0].kernel, "L40");
+        assert_eq!(snap.per_kernel[0].batches, 2);
+        assert_eq!(snap.per_kernel[0].requests, 4);
+        assert_eq!(snap.per_kernel[0].max_batch, 3);
+        assert_eq!(snap.per_kernel[1].kernel, "exact");
+        assert!((snap.mean_batch_size() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_batch_size_is_zero() {
+        assert_eq!(ServerStats::default().mean_batch_size(), 0.0);
+    }
+}

@@ -13,6 +13,9 @@
 //!   embarrassingly parallel loops (per-image evaluation, batch gradients).
 //! * [`binio`] — a small explicit binary codec (on top of `bytes`) used for
 //!   model-weight artifacts; explicit codecs keep artifacts bit-stable.
+//! * [`time`] — [`time::Deadline`]: latency budgets for the serving engine.
+//! * [`sync`] — a bounded MPSC channel with an observable depth gauge,
+//!   the admission-queue primitive behind `axserve`'s backpressure.
 //! * [`error`] — the shared [`AxError`] error type.
 //!
 //! # Examples
@@ -33,6 +36,8 @@ pub mod binio;
 pub mod error;
 pub mod parallel;
 pub mod rng;
+pub mod sync;
+pub mod time;
 
 pub use error::AxError;
 pub use rng::Rng;

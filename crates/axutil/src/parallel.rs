@@ -6,6 +6,21 @@
 //! for the workloads in this repository (hundreds of inferences, each
 //! hundreds of microseconds to milliseconds) per-call thread spawn cost is
 //! negligible and keeping no global state preserves determinism.
+//!
+//! # Panic propagation
+//!
+//! These helpers are built on [`std::thread::scope`], which **joins every
+//! spawned worker before the call returns — even when one of them
+//! panics**. A panicking worker closure therefore (a) never deadlocks the
+//! calling thread, (b) never strands a sibling worker (each sibling runs
+//! its chunk to completion and is joined), and (c) re-raises the panic on
+//! the calling thread once all workers have been joined. Callers that
+//! need fault isolation (the `axserve` batch workers) can rely on
+//! wrapping a call in [`std::panic::catch_unwind`]: after the unwind is
+//! caught, no helper thread is still running and no shared state is left
+//! mid-mutation by the helper itself. This guarantee is pinned by
+//! `panicking_worker_propagates_and_joins_siblings` in this module's
+//! tests.
 
 /// Returns the number of worker threads to use.
 ///
@@ -249,5 +264,49 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    /// Pins the panic-propagation contract documented in the module
+    /// docs: a panicking worker closure propagates to the caller (no
+    /// deadlock), and every sibling worker still runs its chunk to
+    /// completion and is joined before the panic resurfaces.
+    #[test]
+    fn panicking_worker_propagates_and_joins_siblings() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let n = 64usize;
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_chunks(n, |range| {
+                let out: Vec<usize> = range.clone().collect();
+                if range.contains(&0) {
+                    panic!("injected worker panic");
+                }
+                // Siblings record completion only after finishing their
+                // whole chunk.
+                completed.fetch_add(out.len(), Ordering::SeqCst);
+                out
+            })
+        }));
+        let err = result.expect_err("worker panic must propagate to the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(
+            msg.contains("injected worker panic"),
+            "caller must observe the worker's payload, got {msg:?}"
+        );
+        // Every chunk except the panicking one (which holds index 0)
+        // completed: scope joined the siblings instead of stranding them.
+        let workers = num_threads().min(n);
+        let chunk = n.div_ceil(workers);
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            n - chunk,
+            "sibling workers must finish their chunks"
+        );
     }
 }

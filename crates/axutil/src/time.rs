@@ -1,0 +1,133 @@
+//! Deadline arithmetic for latency-budgeted work.
+//!
+//! A [`Deadline`] wraps the wall-clock instant by which a piece of work
+//! must finish. The serving engine (`axserve`) stamps one onto every
+//! request at admission; queues, batchers and workers then only ever ask
+//! two questions — *has it expired?* and *how much budget is left?* —
+//! instead of threading `(start, budget)` pairs around.
+//!
+//! Deadlines are data, not clocks: comparing against
+//! [`std::time::Instant::now`] happens at the call site, so tests can
+//! construct already-expired or far-future deadlines deterministically
+//! without mocking time.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use axutil::time::Deadline;
+//!
+//! let d = Deadline::within(Duration::from_secs(60));
+//! assert!(!d.expired());
+//! assert!(d.remaining() > Duration::from_secs(59));
+//!
+//! let past = Deadline::expired_now();
+//! assert!(past.expired());
+//! assert_eq!(past.remaining(), Duration::ZERO);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// The instant by which a piece of work must complete.
+///
+/// `Deadline::None` (via [`Deadline::unbounded`]) means "no budget" —
+/// never expired, infinite remaining time. This keeps best-effort
+/// requests on the same code path as budgeted ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Deadline {
+    /// No deadline: never expires.
+    #[default]
+    Unbounded,
+    /// Must complete by this instant.
+    At(Instant),
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline::At(Instant::now() + budget)
+    }
+
+    /// No deadline at all.
+    pub fn unbounded() -> Self {
+        Deadline::Unbounded
+    }
+
+    /// A deadline that has already passed (for tests and load
+    /// generators exercising the expiry path deterministically).
+    pub fn expired_now() -> Self {
+        // `Instant` subtraction can underflow on platforms where the
+        // clock starts near zero; saturate by using `now` itself — a
+        // deadline equal to "now" is expired by the time anyone checks.
+        Deadline::At(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self {
+            Deadline::Unbounded => false,
+            Deadline::At(t) => *t <= Instant::now(),
+        }
+    }
+
+    /// Time left before expiry (zero if already expired).
+    ///
+    /// For [`Deadline::Unbounded`] this returns a very large duration
+    /// (about 30 years) rather than panicking, so callers can feed it
+    /// straight into `recv_timeout`-style APIs.
+    pub fn remaining(&self) -> Duration {
+        match self {
+            Deadline::Unbounded => Duration::from_secs(60 * 60 * 24 * 365 * 30),
+            Deadline::At(t) => t.saturating_duration_since(Instant::now()),
+        }
+    }
+
+    /// The earlier of two deadlines.
+    pub fn min(self, other: Deadline) -> Deadline {
+        match (self, other) {
+            (Deadline::Unbounded, d) | (d, Deadline::Unbounded) => d,
+            (Deadline::At(a), Deadline::At(b)) => Deadline::At(a.min(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(60));
+    }
+
+    #[test]
+    fn within_budget_counts_down() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        let rem = d.remaining();
+        assert!(rem > Duration::from_secs(3500) && rem <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn expired_now_is_expired() {
+        let d = Deadline::expired_now();
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn min_picks_the_earlier() {
+        let soon = Deadline::within(Duration::from_secs(1));
+        let late = Deadline::within(Duration::from_secs(100));
+        assert_eq!(soon.min(late), soon);
+        assert_eq!(late.min(soon), soon);
+        assert_eq!(Deadline::Unbounded.min(soon), soon);
+        assert_eq!(soon.min(Deadline::Unbounded), soon);
+        assert_eq!(
+            Deadline::Unbounded.min(Deadline::Unbounded),
+            Deadline::Unbounded
+        );
+    }
+}

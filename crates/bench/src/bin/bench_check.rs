@@ -12,29 +12,28 @@
 //!   post-training quantization (exact — the pipeline is deterministic),
 //! * the fault-campaign report (`BENCH_faults.json`) recorded a
 //!   non-empty campaign with sound accuracies and met its LUT-rebuild
-//!   throughput floor.
+//!   throughput floor,
+//! * the serving report (`BENCH_serve.json`, written by `loadgen`)
+//!   conserves its request counters and every scenario still exhibits
+//!   its injected failure mode.
+//!
+//! Reports load through [`bench::check::load_report`], so "never
+//! generated — run the bench binary" and "corrupt — delete and re-run"
+//! come out as different, actionable messages.
 //!
 //! Exits non-zero listing every violation, so CI fails loudly instead of
 //! uploading a silently regressed artifact.
 
-use bench::check::{expected_reports, min_speedup_from_env, validate_report, Json};
+use bench::check::{expected_reports, load_report, min_speedup_from_env, validate_report};
 
 fn main() {
     let min_speedup = min_speedup_from_env();
     let mut errs: Vec<String> = Vec::new();
     for spec in expected_reports() {
-        let file = spec.file;
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                errs.push(format!("{file}: unreadable ({e})"));
-                continue;
-            }
-        };
-        let doc = match Json::parse(&text) {
+        let doc = match load_report(std::path::Path::new(spec.file)) {
             Ok(d) => d,
             Err(e) => {
-                errs.push(format!("{file}: not valid JSON ({e})"));
+                errs.push(e.to_string());
                 continue;
             }
         };

@@ -1,0 +1,324 @@
+//! The serving-engine load generator: drives the `axserve` server
+//! through four scenarios and writes `BENCH_serve.json`, validated in CI
+//! by `bench_check`'s `Serve` report spec.
+//!
+//! Each scenario injects its failure mode *deterministically* through
+//! [`axserve::FaultHook`] and explicit deadlines, so the counters in the
+//! report are properties of the engine, not of runner timing:
+//!
+//! * **steady** — concurrent clients, no faults: everything completes
+//!   and the micro-batcher coalesces (mean batch size on stderr);
+//! * **overload** — one worker clogged by stall hooks behind a tiny
+//!   admission queue: the flood sheds with `Overloaded` while every
+//!   admitted request still completes;
+//! * **poison** — one panic-hook request inside coalesced batches: the
+//!   batch is bisected until the offender fails alone as `Poisoned`,
+//!   batch-mates complete;
+//! * **deadline** — a mix of expired and unbounded budgets: expired
+//!   requests are rejected typed, the rest complete.
+//!
+//! Per scenario the JSON records request-count conservation
+//! (`completed + shed + deadline + poisoned == requests`), throughput,
+//! and P50/P99 client-observed latency. Counters are exact; only the
+//! timings jitter.
+//!
+//! Environment: `AXDNN_LOADGEN_REQUESTS` (default 64) sizes the steady
+//! and overload floods, `AXDNN_LOADGEN_CLIENTS` (default 8) the
+//! concurrent client count.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use axdata::mnist::{MnistConfig, SynthMnist};
+use axmul::Registry;
+use axquant::{Placement, QuantModel};
+use axserve::{FaultHook, Request, ServeError, Server, ServerConfig};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+use axutil::time::Deadline;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Client-observed outcome counters plus latency samples (completed
+/// requests only) for one scenario.
+#[derive(Debug, Default)]
+struct Outcome {
+    completed: u64,
+    shed: u64,
+    deadline: u64,
+    poisoned: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Outcome {
+    fn absorb(&mut self, result: &Result<axserve::Response, ServeError>, elapsed_ms: f64) {
+        match result {
+            Ok(_) => {
+                self.completed += 1;
+                self.latencies_ms.push(elapsed_ms);
+            }
+            Err(ServeError::Overloaded { .. }) => self.shed += 1,
+            Err(ServeError::DeadlineExceeded) => self.deadline += 1,
+            Err(ServeError::Poisoned { .. }) => self.poisoned += 1,
+            Err(other) => panic!("loadgen hit an unexpected error: {other}"),
+        }
+    }
+}
+
+/// One finished scenario row of the report.
+struct Row {
+    scenario: &'static str,
+    requests: u64,
+    outcome: Outcome,
+    retries: u64,
+    elapsed_s: f64,
+}
+
+impl Row {
+    fn quantile_ms(&self, q: f64) -> f64 {
+        let lat = &self.outcome.latencies_ms;
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = lat.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    fn throughput_per_s(&self) -> f64 {
+        self.outcome.completed as f64 / self.elapsed_s
+    }
+}
+
+/// Runs `requests.len()` clients against `server` from `clients` OS
+/// threads (round-robin assignment), timing each predict end to end.
+fn drive(server: &Server, requests: Vec<Request>, clients: usize) -> (Outcome, f64) {
+    let outcome = Mutex::new(Outcome::default());
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        let mut lanes: Vec<Vec<Request>> = (0..clients).map(|_| Vec::new()).collect();
+        for (i, req) in requests.into_iter().enumerate() {
+            lanes[i % clients].push(req);
+        }
+        for lane in lanes {
+            let outcome = &outcome;
+            s.spawn(move || {
+                for req in lane {
+                    let t0 = Instant::now();
+                    let result = server.predict(req);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    outcome.lock().expect("outcome").absorb(&result, ms);
+                }
+            });
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    (outcome.into_inner().expect("outcome"), elapsed_s)
+}
+
+fn main() {
+    let n_requests = env_usize("AXDNN_LOADGEN_REQUESTS", 64);
+    let clients = env_usize("AXDNN_LOADGEN_CLIENTS", 8);
+
+    // The served model: the quickstart FFNN quantized everywhere, with
+    // the paper's L40 LUT hosted next to the exact kernel.
+    let data = SynthMnist::generate(&MnistConfig {
+        n: 64,
+        seed: 71,
+        ..Default::default()
+    });
+    let model = axnn::zoo::ffnn(&mut Rng::seed_from_u64(70));
+    let calib: Vec<Tensor> = (0..16).map(|i| data.image(i).clone()).collect();
+    let qm = || QuantModel::from_float(&model, &calib, Placement::All).expect("quantize ffnn");
+    let lut = Registry::standard()
+        .build_lut("L40")
+        .expect("registry kernel");
+    let image = |i: usize| data.image(i % data.len()).clone();
+    let kernel = |i: usize| if i % 2 == 0 { "exact" } else { "L40" };
+
+    let mut rows = Vec::new();
+
+    // Scenario 1: steady state. Everything completes.
+    {
+        let server = Server::builder()
+            .model("ffnn", qm())
+            .kernel("L40", lut.clone())
+            .serve(ServerConfig::default());
+        let requests: Vec<Request> = (0..n_requests)
+            .map(|i| Request::new("ffnn", kernel(i), image(i)))
+            .collect();
+        let n = requests.len() as u64;
+        let (outcome, elapsed_s) = drive(&server, requests, clients);
+        let stats = server.stats();
+        eprintln!(
+            "[steady: {} completed, mean batch {:.2}, {} batches]",
+            outcome.completed,
+            stats.mean_batch_size(),
+            stats.batches
+        );
+        rows.push(Row {
+            scenario: "steady",
+            requests: n,
+            outcome,
+            retries: stats.retries,
+            elapsed_s,
+        });
+    }
+
+    // Scenario 2: overload. One worker, stall hooks, tiny queue.
+    {
+        let server = Server::builder()
+            .model("ffnn", qm())
+            .kernel("L40", lut.clone())
+            .serve(ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                max_batch: 2,
+                linger: Duration::ZERO,
+                ..ServerConfig::default()
+            });
+        let requests: Vec<Request> = (0..n_requests)
+            .map(|i| {
+                let mut req = Request::new("ffnn", kernel(i), image(i));
+                if i % 8 == 0 {
+                    req = req.with_hook(FaultHook::Stall(Duration::from_millis(40)));
+                }
+                req
+            })
+            .collect();
+        let n = requests.len() as u64;
+        // Twice the clients so the flood outruns the single worker.
+        let (outcome, elapsed_s) = drive(&server, requests, clients * 2);
+        let stats = server.stats();
+        eprintln!(
+            "[overload: {} shed of {n}, queue drained to {}]",
+            outcome.shed, stats.queue_depth
+        );
+        rows.push(Row {
+            scenario: "overload",
+            requests: n,
+            outcome,
+            retries: stats.retries,
+            elapsed_s,
+        });
+    }
+
+    // Scenario 3: poison. One panic hook inside coalesced batches.
+    {
+        let server = Server::builder()
+            .model("ffnn", qm())
+            .kernel("L40", lut.clone())
+            .serve(ServerConfig {
+                workers: 2,
+                max_batch: 4,
+                linger: Duration::from_millis(2),
+                retry_backoff: Duration::ZERO,
+                ..ServerConfig::default()
+            });
+        let requests: Vec<Request> = (0..16)
+            .map(|i| {
+                let mut req = Request::new("ffnn", kernel(i), image(i));
+                if i == 7 {
+                    req = req.with_hook(FaultHook::Panic);
+                }
+                req
+            })
+            .collect();
+        let n = requests.len() as u64;
+        let (outcome, elapsed_s) = drive(&server, requests, clients);
+        let stats = server.stats();
+        eprintln!(
+            "[poison: {} poisoned, {} panics, {} retries, {} batch-mates completed]",
+            outcome.poisoned, stats.panics, stats.retries, outcome.completed
+        );
+        rows.push(Row {
+            scenario: "poison",
+            requests: n,
+            outcome,
+            retries: stats.retries,
+            elapsed_s,
+        });
+    }
+
+    // Scenario 4: deadline. Every fourth budget is already spent.
+    {
+        let server = Server::builder()
+            .model("ffnn", qm())
+            .kernel("L40", lut.clone())
+            .serve(ServerConfig::default());
+        let requests: Vec<Request> = (0..16)
+            .map(|i| {
+                let mut req = Request::new("ffnn", kernel(i), image(i));
+                if i % 4 == 0 {
+                    req = req.with_deadline(Deadline::expired_now());
+                }
+                req
+            })
+            .collect();
+        let n = requests.len() as u64;
+        let (outcome, elapsed_s) = drive(&server, requests, clients);
+        let stats = server.stats();
+        eprintln!(
+            "[deadline: {} rejected typed, {} completed]",
+            outcome.deadline, outcome.completed
+        );
+        rows.push(Row {
+            scenario: "deadline",
+            requests: n,
+            outcome,
+            retries: stats.retries,
+            elapsed_s,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serve_loadgen\",\n");
+    json.push_str("  \"model\": \"ffnn-1x28\",\n");
+    json.push_str("  \"kernels\": [\"exact\", \"L40\"],\n");
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str("  \"results\": [\n");
+    let mut text = String::from(
+        "# Serving engine loadgen (FFNN, exact + L40)\n\n\
+         | scenario | requests | completed | shed | deadline | poisoned | retries | req/s | p50 ms | p99 ms |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let o = &row.outcome;
+        let (p50, p99) = (row.quantile_ms(0.5), row.quantile_ms(0.99));
+        let tput = row.throughput_per_s();
+        assert_eq!(
+            o.completed + o.shed + o.deadline + o.poisoned,
+            row.requests,
+            "{}: a request vanished without a verdict",
+            row.scenario
+        );
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"requests\": {}, \"completed\": {}, \
+             \"shed\": {}, \"deadline\": {}, \"poisoned\": {}, \"retries\": {}, \
+             \"throughput_per_s\": {tput:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}}}{}\n",
+            row.scenario,
+            row.requests,
+            o.completed,
+            o.shed,
+            o.deadline,
+            o.poisoned,
+            row.retries,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+        text.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {tput:.0} | {p50:.2} | {p99:.2} |\n",
+            row.scenario, row.requests, o.completed, o.shed, o.deadline, o.poisoned, row.retries,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("[saved BENCH_serve.json]");
+    bench::emit("loadgen", &text);
+}

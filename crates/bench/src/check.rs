@@ -20,7 +20,15 @@
 //!   accuracies and a met LUT-rebuild throughput floor
 //!   (`lut_rebuild.meets_floor` — the floor itself is applied by
 //!   `bench_report`, which keeps the JSON free of jittering timings and
-//!   therefore byte-identical across runs).
+//!   therefore byte-identical across runs),
+//! * the serving report (`BENCH_serve.json`, written by `loadgen`)
+//!   conserves its request counters and each scenario still exhibits the
+//!   failure mode it deterministically injects ([`check_serve_report`]).
+//!
+//! Report loading goes through [`load_report`], which keeps "the file
+//! was never generated" ([`LoadError::Missing`]) apart from "the file is
+//! corrupt" ([`LoadError::Malformed`]) — the two demand different fixes
+//! and CI output should say which one applies.
 
 use std::collections::HashMap;
 
@@ -226,6 +234,73 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
+/// Why a report file could not be loaded — the two cases need different
+/// operator responses, so [`load_report`] keeps them apart instead of
+/// collapsing both into one "bad file" string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file does not exist: the report was never generated. The fix
+    /// is to *run* `bench_report`, not to debug the file.
+    Missing {
+        /// The report path.
+        file: String,
+    },
+    /// The file exists but is unreadable or not valid JSON: the report
+    /// run was interrupted or the file was corrupted. The fix is to
+    /// delete it and *re-run* `bench_report`.
+    Malformed {
+        /// The report path.
+        file: String,
+        /// What exactly went wrong (I/O error or first JSON syntax
+        /// error).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Missing { file } => write!(
+                f,
+                "{file}: report not found — run `cargo run --release -p bench --bin \
+                 bench_report` (and `loadgen` for BENCH_serve.json) first; the gate \
+                 validates fresh reports, it does not create them"
+            ),
+            LoadError::Malformed { file, detail } => write!(
+                f,
+                "{file}: report exists but is not valid ({detail}) — the writing run \
+                 was likely interrupted; delete the file and re-run the bench binary"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Reads and parses one report file, distinguishing *absent* from
+/// *broken* (see [`LoadError`]).
+///
+/// # Errors
+///
+/// [`LoadError::Missing`] when the file does not exist,
+/// [`LoadError::Malformed`] when it cannot be read or parsed.
+pub fn load_report(path: &std::path::Path) -> Result<Json, LoadError> {
+    let file = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(LoadError::Missing { file })
+        }
+        Err(e) => {
+            return Err(LoadError::Malformed {
+                file,
+                detail: format!("unreadable: {e}"),
+            })
+        }
+    };
+    Json::parse(&text).map_err(|detail| LoadError::Malformed { file, detail })
+}
+
 /// The documented default speedup floor: `1.0` minus a 20% jitter
 /// allowance for noisy CI runners. Override with
 /// `AXDNN_BENCH_MIN_SPEEDUP`.
@@ -411,6 +486,121 @@ pub fn check_fault_report(
     errs
 }
 
+/// Validates the serving loadgen report (`BENCH_serve.json`): every
+/// expected scenario row is present with sound counters and latency
+/// quantiles, counter conservation holds (`completed + shed + deadline +
+/// poisoned == requests` — counters are exact even though timings
+/// jitter), and each scenario exhibits the failure mode it was built to
+/// drive (the load generator injects faults deterministically via
+/// `FaultHook`, so these are not timing-dependent assertions):
+///
+/// * `steady` — everything completes;
+/// * `overload` — at least one request shed with `Overloaded`;
+/// * `poison` — at least one poisoned request and at least one retry;
+/// * `deadline` — at least one deadline rejection.
+pub fn check_serve_report(
+    doc: &Json,
+    file: &str,
+    entry_key: &str,
+    expected: &[ExpectedEntry],
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        return vec![format!("{file}: missing or non-array \"results\"")];
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    const COUNT_FIELDS: [&str; 6] = [
+        "requests",
+        "completed",
+        "shed",
+        "deadline",
+        "poisoned",
+        "retries",
+    ];
+    for (i, entry) in results.iter().enumerate() {
+        let name = entry.get(entry_key).and_then(Json::as_str);
+        match name {
+            Some(n) => seen.push(n),
+            None => errs.push(format!("{file}: results[{i}] lacks \"{entry_key}\"")),
+        }
+        let label = name.unwrap_or("<unnamed>");
+        let num = |field: &str| entry.get(field).and_then(Json::as_f64);
+        let mut counts = HashMap::new();
+        for field in COUNT_FIELDS {
+            match num(field) {
+                Some(v) if v >= 0.0 && v.fract() == 0.0 => {
+                    counts.insert(field, v);
+                }
+                Some(v) => errs.push(format!(
+                    "{file}: {label}.{field} = {v} is not a non-negative integer"
+                )),
+                None => errs.push(format!("{file}: {label} lacks numeric \"{field}\"")),
+            }
+        }
+        if let (Some(req), Some(done), Some(shed), Some(dl), Some(poi)) = (
+            counts.get("requests"),
+            counts.get("completed"),
+            counts.get("shed"),
+            counts.get("deadline"),
+            counts.get("poisoned"),
+        ) {
+            if done + shed + dl + poi != *req {
+                errs.push(format!(
+                    "{file}: {label} loses requests: completed {done} + shed {shed} + \
+                     deadline {dl} + poisoned {poi} != requests {req}"
+                ));
+            }
+        }
+        match (num("p50_ms"), num("p99_ms")) {
+            (Some(p50), Some(p99)) if p50 >= 0.0 && p99 >= p50 => {}
+            (Some(p50), Some(p99)) => errs.push(format!(
+                "{file}: {label} latency quantiles unsound (p50 {p50}, p99 {p99})"
+            )),
+            _ => errs.push(format!(
+                "{file}: {label} lacks numeric \"p50_ms\"/\"p99_ms\""
+            )),
+        }
+        match num("throughput_per_s") {
+            Some(t) if t > 0.0 => {}
+            Some(t) => errs.push(format!(
+                "{file}: {label} throughput_per_s {t} is not positive"
+            )),
+            None => errs.push(format!(
+                "{file}: {label} lacks numeric \"throughput_per_s\""
+            )),
+        }
+        // Scenario-specific semantics: the injected failure must show.
+        let violated = match name {
+            Some("steady") => (counts.get("completed") != counts.get("requests"))
+                .then_some("not every request completed"),
+            Some("overload") => {
+                (counts.get("shed") <= Some(&0.0)).then_some("no request was shed under flood")
+            }
+            Some("poison") => (counts.get("poisoned") <= Some(&0.0)
+                || counts.get("retries") <= Some(&0.0))
+            .then_some("no poisoned request / no retry recorded"),
+            Some("deadline") => {
+                (counts.get("deadline") <= Some(&0.0)).then_some("no deadline rejection recorded")
+            }
+            _ => None,
+        };
+        if let Some(why) = violated {
+            errs.push(format!(
+                "{file}: scenario {label} lost its failure mode: {why}"
+            ));
+        }
+    }
+    for want in expected {
+        if !seen.contains(&want.name) {
+            errs.push(format!(
+                "{file}: expected {entry_key} entry \"{}\" missing",
+                want.name
+            ));
+        }
+    }
+    errs
+}
+
 /// How a report's contents are validated by [`validate_report`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReportKind {
@@ -421,6 +611,8 @@ pub enum ReportKind {
     Finetune,
     /// Fault-campaign report ([`check_fault_report`]).
     FaultCampaign,
+    /// Serving loadgen report ([`check_serve_report`]).
+    Serve,
 }
 
 /// One report `bench_report` writes and `bench_check` validates.
@@ -452,6 +644,7 @@ pub fn validate_report(spec: &ReportSpec, doc: &Json, min_speedup: f64) -> Vec<S
         ReportKind::FaultCampaign => {
             check_fault_report(doc, spec.file, spec.entry_key, &spec.expected)
         }
+        ReportKind::Serve => check_serve_report(doc, spec.file, spec.entry_key, &spec.expected),
     }
 }
 
@@ -523,6 +716,17 @@ pub fn expected_reports() -> Vec<ReportSpec> {
                 ExpectedEntry::new("1JFF"),
                 ExpectedEntry::new("17KS"),
                 ExpectedEntry::new("L40"),
+            ],
+        },
+        ReportSpec {
+            file: "BENCH_serve.json",
+            entry_key: "scenario",
+            kind: ReportKind::Serve,
+            expected: vec![
+                ExpectedEntry::new("steady"),
+                ExpectedEntry::new("overload"),
+                ExpectedEntry::new("poison"),
+                ExpectedEntry::new("deadline"),
             ],
         },
     ]
@@ -721,6 +925,134 @@ mod tests {
     #[test]
     fn default_floor_documented() {
         assert_eq!(DEFAULT_MIN_SPEEDUP, 0.8);
+    }
+
+    fn healthy_serve_doc() -> Json {
+        Json::parse(
+            r#"{
+  "bench": "serve_loadgen",
+  "results": [
+    {"scenario": "steady", "requests": 64, "completed": 64, "shed": 0,
+     "deadline": 0, "poisoned": 0, "retries": 0,
+     "throughput_per_s": 812.5, "p50_ms": 1.2, "p99_ms": 4.7},
+    {"scenario": "overload", "requests": 64, "completed": 40, "shed": 24,
+     "deadline": 0, "poisoned": 0, "retries": 0,
+     "throughput_per_s": 310.0, "p50_ms": 2.0, "p99_ms": 9.5},
+    {"scenario": "poison", "requests": 16, "completed": 15, "shed": 0,
+     "deadline": 0, "poisoned": 1, "retries": 6,
+     "throughput_per_s": 120.0, "p50_ms": 1.5, "p99_ms": 6.0},
+    {"scenario": "deadline", "requests": 16, "completed": 10, "shed": 0,
+     "deadline": 6, "poisoned": 0, "retries": 0,
+     "throughput_per_s": 95.0, "p50_ms": 1.1, "p99_ms": 8.0}
+  ]
+}"#,
+        )
+        .unwrap()
+    }
+
+    fn serve_expected() -> Vec<ExpectedEntry> {
+        want(&["steady", "overload", "poison", "deadline"])
+    }
+
+    #[test]
+    fn serve_check_passes_a_healthy_report() {
+        let errs = check_serve_report(&healthy_serve_doc(), "f", "scenario", &serve_expected());
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn serve_check_flags_lost_requests_and_lost_failure_modes() {
+        // Conservation violated (a request vanished without a verdict).
+        let doc = Json::parse(
+            r#"{"results": [
+                {"scenario": "steady", "requests": 10, "completed": 9, "shed": 0,
+                 "deadline": 0, "poisoned": 0, "retries": 0,
+                 "throughput_per_s": 100.0, "p50_ms": 1.0, "p99_ms": 2.0}
+            ]}"#,
+        )
+        .unwrap();
+        let errs = check_serve_report(&doc, "f", "scenario", &[]);
+        assert!(
+            errs.iter().any(|e| e.contains("loses requests")),
+            "{errs:?}"
+        );
+        // And steady's own invariant also trips.
+        assert!(errs.iter().any(|e| e.contains("failure mode")), "{errs:?}");
+
+        // Overload that never shed = the scenario stopped testing
+        // anything.
+        let doc = Json::parse(
+            r#"{"results": [
+                {"scenario": "overload", "requests": 10, "completed": 10, "shed": 0,
+                 "deadline": 0, "poisoned": 0, "retries": 0,
+                 "throughput_per_s": 100.0, "p50_ms": 1.0, "p99_ms": 2.0}
+            ]}"#,
+        )
+        .unwrap();
+        let errs = check_serve_report(&doc, "f", "scenario", &[]);
+        assert!(errs.iter().any(|e| e.contains("shed")), "{errs:?}");
+
+        // Unsound quantiles and non-integer counters.
+        let doc = Json::parse(
+            r#"{"results": [
+                {"scenario": "steady", "requests": 10.5, "completed": 10, "shed": 0,
+                 "deadline": 0, "poisoned": 0, "retries": 0,
+                 "throughput_per_s": 0.0, "p50_ms": 5.0, "p99_ms": 2.0}
+            ]}"#,
+        )
+        .unwrap();
+        let errs = check_serve_report(&doc, "f", "scenario", &[]);
+        assert!(
+            errs.iter().any(|e| e.contains("non-negative integer")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("quantiles")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("not positive")), "{errs:?}");
+
+        // Missing scenario row.
+        let errs = check_serve_report(&healthy_serve_doc(), "f", "scenario", &want(&["warmup"]));
+        assert!(errs.iter().any(|e| e.contains("warmup")), "{errs:?}");
+    }
+
+    #[test]
+    fn load_report_distinguishes_missing_from_malformed() {
+        let dir = std::env::temp_dir().join(format!(
+            "axdnn-check-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing: never generated.
+        let missing = dir.join("BENCH_never_written.json");
+        let err = load_report(&missing).unwrap_err();
+        assert!(matches!(err, LoadError::Missing { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("not found"), "{msg}");
+        assert!(msg.contains("bench_report"), "actionable: {msg}");
+
+        // Malformed: exists, but truncated mid-write.
+        let broken = dir.join("BENCH_truncated.json");
+        std::fs::write(&broken, "{\"bench\": \"serve_loadgen\", \"resu").unwrap();
+        let err = load_report(&broken).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("re-run"), "actionable: {msg}");
+        assert!(
+            !msg.contains("not found"),
+            "malformed must not read as missing: {msg}"
+        );
+
+        // Healthy: parses.
+        let good = dir.join("BENCH_good.json");
+        std::fs::write(&good, "{\"results\": []}").unwrap();
+        let doc = load_report(&good).unwrap();
+        assert_eq!(
+            doc.get("results").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Structural invariants over the whole report list, replacing the

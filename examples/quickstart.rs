@@ -2,8 +2,9 @@
 //!
 //! Trains a small FFNN on synthetic MNIST, quantizes it to int8, swaps in
 //! an approximate multiplier, compares robustness of the accurate and
-//! approximate victims under a PGD-linf attack, and finishes with a
-//! stuck-at fault-injection campaign over the multiplier circuits.
+//! approximate victims under a PGD-linf attack, runs a stuck-at
+//! fault-injection campaign over the multiplier circuits, and finishes by
+//! standing the quantized model up behind the batched serving engine.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -16,6 +17,7 @@ use axdnn::quant::{Placement, QuantModel};
 use axdnn::robust::eval::{robustness_grid, EvalOpts};
 use axdnn::robust::experiments::run_fault_sweep;
 use axdnn::robust::faults::FaultSweepOpts;
+use axdnn::serve::{Request, Server, ServerConfig};
 use axdnn::tensor::Tensor;
 use axdnn::util::rng::Rng;
 
@@ -103,5 +105,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     println!("\n{}", faults.to_text());
+
+    // 7. Serve it: concurrent predicts coalesce into batched passes, with
+    // deadlines, backpressure and panic isolation handled by the server.
+    let served = QuantModel::from_float(&model, &calib, Placement::All)?;
+    let server = Server::builder()
+        .model("ffnn", served)
+        .kernel("L40", reg.build_lut("L40").expect("registered"))
+        .serve(ServerConfig::default());
+    let resp = server.predict(Request::new("ffnn", "L40", test.image(0).clone()))?;
+    println!(
+        "\nserved one request through {}: class {} (label {})",
+        resp.kernel,
+        resp.class,
+        test.label(0)
+    );
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`quant`] | int8 fixed-point inference with pluggable multiplier kernels |
 //! | [`attack`] | the ten Foolbox-style attacks (FGM/BIM/PGD/CR/RAG/RAU) |
 //! | [`robust`] | the paper's methodology: Algorithm 1, robustness grids, transferability, quantization study |
+//! | [`serve`] | fault-tolerant batched inference serving: deadlines, backpressure, panic isolation, degradation |
 //! | [`util`] | deterministic PRNG, parallel helpers, binary codec |
 //!
 //! # Quickstart
@@ -49,6 +50,8 @@ pub use axnn as nn;
 pub use axquant as quant;
 /// The paper's methodology (re-export of `axrobust`).
 pub use axrobust as robust;
+/// Batched inference serving (re-export of `axserve`).
+pub use axserve as serve;
 /// Tensors (re-export of `axtensor`).
 pub use axtensor as tensor;
 /// Utilities (re-export of `axutil`).
@@ -58,7 +61,7 @@ pub use axutil as util;
 mod tests {
     #[test]
     fn reexports_are_wired() {
-        // Every one of the nine re-exported crates answers through its
+        // Every one of the ten re-exported crates answers through its
         // umbrella path (see also tests/workspace.rs for the manifest side).
         let reg = crate::mul::Registry::standard();
         assert!(reg.find("1JFF").is_some());
@@ -81,5 +84,8 @@ mod tests {
 
         assert_eq!(crate::circ::Netlist::new(4).num_inputs(), 4);
         let _ = crate::quant::Placement::ConvOnly;
+
+        let cfg = crate::serve::ServerConfig::default();
+        assert!(cfg.workers > 0 && cfg.max_batch > 0);
     }
 }

@@ -6,14 +6,15 @@
 /// The root manifest, compiled in so the test needs no runtime I/O.
 const ROOT_MANIFEST: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml"));
 
-/// The ten member crates under `crates/`.
-const MEMBERS: [&str; 10] = [
+/// The eleven member crates under `crates/`.
+const MEMBERS: [&str; 11] = [
     "crates/axattack",
     "crates/axcirc",
     "crates/axdata",
     "crates/axmul",
     "crates/axnn",
     "crates/axquant",
+    "crates/axserve",
     "crates/axtensor",
     "crates/axutil",
     "crates/bench",
@@ -23,9 +24,10 @@ const MEMBERS: [&str; 10] = [
 /// The vendored offline shims (see `vendor/README.md`).
 const VENDORED: [&str; 3] = ["vendor/bytes", "vendor/criterion", "vendor/proptest"];
 
-/// The nine library crates the umbrella package re-exports.
-const UMBRELLA_DEPS: [&str; 9] = [
-    "axattack", "axcirc", "axdata", "axmul", "axnn", "axquant", "axrobust", "axtensor", "axutil",
+/// The ten library crates the umbrella package re-exports.
+const UMBRELLA_DEPS: [&str; 10] = [
+    "axattack", "axcirc", "axdata", "axmul", "axnn", "axquant", "axrobust", "axserve", "axtensor",
+    "axutil",
 ];
 
 #[test]
@@ -75,6 +77,7 @@ fn umbrella_reexports_reach_every_crate() {
     let _ = axdnn::data::mnist::MnistConfig::default();
     let _ = axdnn::nn::zoo::ffnn(&mut axdnn::util::rng::Rng::seed_from_u64(2));
     let _ = axdnn::quant::Placement::ConvOnly;
+    let _ = axdnn::serve::ServerConfig::default();
     assert_eq!(axdnn::attack::suite::AttackId::ALL.len(), 10);
     assert_eq!(axdnn::robust::eval::paper_eps_grid().len(), 10);
 }
