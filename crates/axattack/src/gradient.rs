@@ -16,7 +16,7 @@ use axnn::Sequential;
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
-use crate::norms::{normalized, project_to_ball, Norm};
+use crate::norms::{ascent_direction, normalized, project_ball, project_to_ball, Norm};
 use crate::Attack;
 
 /// Fast Gradient Method (single step).
@@ -181,17 +181,8 @@ impl Attack for Pgd {
     }
 }
 
-/// The ascent direction for one gradient under `norm`: the sign pattern
-/// for linf, the l2-normalized gradient for l2.
-fn grad_step(grad: &Tensor, norm: Norm) -> Tensor {
-    match norm {
-        Norm::Linf => grad.map(f32::signum),
-        Norm::L2 => normalized(grad, Norm::L2),
-    }
-}
-
-/// One gradient-ascent move: `cur + alpha * grad_step(grad)`, projected
-/// onto the eps-ball around `origin` and the pixel box.
+/// One gradient-ascent move: `cur + alpha * ascent_direction(grad)`,
+/// projected onto the eps-ball around `origin` and the pixel box.
 ///
 /// The single definition of the update rule — scalar and batched
 /// FGM/BIM/PGD all step through here, which is what makes the
@@ -204,14 +195,16 @@ fn ascend(
     eps: f32,
     norm: Norm,
 ) -> Tensor {
-    let step = grad_step(grad, norm);
+    let step = ascent_direction(grad, norm);
     let mut adv = cur.clone();
     adv.add_scaled(&step, alpha);
     project_to_ball(&adv, origin, eps, norm)
 }
 
 /// The PGD initialization: a uniformly random point inside the eps-ball
-/// around `x` (Madry et al.), projected back to ball ∩ box. Shared by
+/// around `x` (Madry et al.). The noise delta is constrained through the
+/// shared [`project_ball`] — the same geometry the universal crafter's
+/// per-epoch projection uses — then clipped to the pixel box. Shared by
 /// the scalar and batched loops.
 fn random_start(x: &Tensor, eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
     let mut noise = Tensor::zeros(x.dims());
@@ -223,7 +216,8 @@ fn random_start(x: &Tensor, eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
             noise = normalized(&noise, Norm::L2).scaled(eps * scale);
         }
     }
-    project_to_ball(&x.add(&noise), x, eps, norm)
+    let delta = project_ball(&noise, eps, norm);
+    x.add(&delta).clamped(0.0, 1.0)
 }
 
 /// Shared BIM/PGD loop. `random_start` enables the PGD initialization.

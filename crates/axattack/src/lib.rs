@@ -23,6 +23,10 @@
 //! gradient attacks step all images of a chunk together on one compiled
 //! [`axnn::plan::FPlan`].
 //!
+//! Beyond the paper's per-image attacks, [`universal`] crafts a single
+//! *universal* perturbation — one shared delta optimized over a whole
+//! evaluation set (Shafahi et al.) — on the same batched gradient engine.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,6 +48,7 @@ pub mod decision;
 pub mod gradient;
 pub mod norms;
 pub mod suite;
+pub mod universal;
 
 use axnn::Sequential;
 use axtensor::Tensor;

@@ -1,75 +1,17 @@
 //! Perturbation norms and ball projections.
+//!
+//! The geometry itself lives in [`axtensor::norms`] so the universal
+//! adversarial trainers in `axnn`/`axquant` (which cannot depend on this
+//! crate) share the exact same [`project_ball`]/[`ascent_direction`]
+//! definitions as the attack crafters. This module re-exports it under
+//! the historical `axattack::norms` paths.
 
-use axtensor::Tensor;
-
-/// The distance metric bounding a perturbation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Norm {
-    /// Euclidean norm.
-    L2,
-    /// Maximum-coordinate norm.
-    Linf,
-}
-
-impl std::fmt::Display for Norm {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Norm::L2 => write!(f, "l2"),
-            Norm::Linf => write!(f, "linf"),
-        }
-    }
-}
-
-impl Norm {
-    /// Distance between two tensors in this norm.
-    pub fn dist(self, a: &Tensor, b: &Tensor) -> f32 {
-        match self {
-            Norm::L2 => a.l2_dist(b),
-            Norm::Linf => a.linf_dist(b),
-        }
-    }
-}
-
-/// Scales `dir` to unit length in the given norm.
-///
-/// Convention: a zero or numerically negligible direction (norm at most
-/// `1e-12`) has no meaningful unit vector and maps to the **zero
-/// tensor** — not to the unnormalized input direction — so a gradient
-/// step on a flat loss is a no-op (`adv == x` for FGM-l2) instead of a
-/// step along floating-point noise.
-pub fn normalized(dir: &Tensor, norm: Norm) -> Tensor {
-    let n = match norm {
-        Norm::L2 => dir.l2_norm(),
-        Norm::Linf => dir.linf_norm(),
-    };
-    if n <= 1e-12 {
-        Tensor::zeros(dir.dims())
-    } else {
-        dir.scaled(1.0 / n)
-    }
-}
-
-/// Projects `x` onto the eps-ball (in `norm`) around `origin`, then clips
-/// to the pixel box `[0, 1]`.
-pub fn project_to_ball(x: &Tensor, origin: &Tensor, eps: f32, norm: Norm) -> Tensor {
-    let delta = x.sub(origin);
-    let delta = match norm {
-        Norm::Linf => delta.clamped(-eps, eps),
-        Norm::L2 => {
-            let n = delta.l2_norm();
-            if n > eps && n > 1e-12 {
-                delta.scaled(eps / n)
-            } else {
-                delta
-            }
-        }
-    };
-    origin.add(&delta).clamped(0.0, 1.0)
-}
+pub use axtensor::norms::{ascent_direction, normalized, project_ball, project_to_ball, Norm};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use axtensor::Tensor;
     use axutil::rng::Rng;
 
     fn rand_tensor(dims: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
@@ -124,6 +66,20 @@ mod tests {
         let x = Tensor::from_vec(vec![0.52, 0.48, 0.5, 0.51], &[4]);
         let p = project_to_ball(&x, &origin, 0.1, Norm::Linf);
         assert_eq!(p, x);
+    }
+
+    #[test]
+    fn image_projection_matches_delta_projection() {
+        // `project_to_ball` is structurally project_ball on the delta plus
+        // the pixel box — pin the composition through the re-export.
+        let origin = rand_tensor(&[25], 6, 0.1, 0.9);
+        let x = rand_tensor(&[25], 7, -0.5, 1.5);
+        for norm in [Norm::Linf, Norm::L2] {
+            let via_delta = origin
+                .add(&project_ball(&x.sub(&origin), 0.2, norm))
+                .clamped(0.0, 1.0);
+            assert_eq!(project_to_ball(&x, &origin, 0.2, norm), via_delta);
+        }
     }
 
     #[test]

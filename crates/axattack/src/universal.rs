@@ -1,0 +1,300 @@
+//! Universal adversarial perturbations: ONE shared delta for a whole set.
+//!
+//! Per-image attacks (FGM/BIM/PGD) craft a fresh perturbation for every
+//! input; a *universal* perturbation (Moosavi-Dezfooli et al.; Shafahi et
+//! al., "Universal Adversarial Training") is a single delta, optimized
+//! once over an evaluation set, that fools the model on as many inputs as
+//! possible when added to each of them. [`UniversalAttack`] implements
+//! the stochastic-gradient variant of Shafahi's crafter: iterated epochs
+//! of batched input gradients at `clip(x + delta)`, an FGSM-style
+//! sign/l2 ascent step on the *summed* gradient, and a per-epoch
+//! projection of the delta onto the eps-ball through the shared
+//! [`project_ball`] geometry.
+//!
+//! # Determinism and thread invariance
+//!
+//! Each epoch's gradients come from one
+//! [`Sequential::loss_and_input_grads_batch`] call (per-image results are
+//! chunk-independent by the PR 4 contract) and are folded into the summed
+//! gradient **in fixed left-to-right image order on the caller thread**,
+//! so the crafted delta is bit-identical for any `AXDNN_THREADS` setting
+//! (pinned by `tests/prop_universal.rs`).
+
+use axnn::Sequential;
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+use crate::norms::{ascent_direction, normalized, project_ball, Norm};
+
+/// Applies a universal delta to one image: `clip(x + delta, 0, 1)`
+/// (re-export of the shared [`axtensor::norms::apply_delta`], under the
+/// attack-side name).
+pub use axtensor::norms::apply_delta as apply;
+
+/// The universal-perturbation crafter.
+///
+/// Defaults: 10 epochs, zero-initialized delta. The zero start keeps the
+/// single-image degenerate case exactly one batched-gradient ascent run
+/// per epoch (see `tests/prop_universal.rs`);
+/// [`with_random_start`](UniversalAttack::with_random_start) opts into a
+/// PGD-style random point inside the ball drawn from the caller's RNG
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalAttack {
+    norm: Norm,
+    epochs: usize,
+    random_start: bool,
+}
+
+impl UniversalAttack {
+    /// Creates a universal attack under the given norm (10 epochs, zero
+    /// start).
+    pub fn new(norm: Norm) -> Self {
+        UniversalAttack {
+            norm,
+            epochs: 10,
+            random_start: false,
+        }
+    }
+
+    /// Overrides the number of gradient epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0);
+        self.epochs = epochs;
+        self
+    }
+
+    /// Enables/disables the PGD-style random start inside the eps-ball.
+    pub fn with_random_start(mut self, enable: bool) -> Self {
+        self.random_start = enable;
+        self
+    }
+
+    /// The perturbation norm.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+
+    /// Optimizes one shared delta over the whole `(images, labels)` set.
+    ///
+    /// Per epoch: one batched input-gradient pass at `clip(x + delta)`
+    /// over every image, the per-image gradients summed in image order,
+    /// one `alpha * ascent_direction` step (Madry's `2.5 * eps / epochs`
+    /// step size) and a [`project_ball`] projection. Returns the final
+    /// delta (in delta space — apply it with [`apply`]). A zero budget
+    /// returns the zero delta without touching the model.
+    ///
+    /// `rng` is only consumed by the optional random start, so the
+    /// default configuration is a pure function of model, data and eps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset (a "universal" perturbation for nothing
+    /// is meaningless and would silently return zeros), a length
+    /// mismatch, a negative budget, or images that do not share one
+    /// shape.
+    pub fn craft_universal(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &mut Rng,
+    ) -> Tensor {
+        assert!(
+            !images.is_empty(),
+            "craft_universal needs a non-empty dataset"
+        );
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(eps >= 0.0, "negative budget");
+        let dims = images[0].dims().to_vec();
+        for (i, img) in images.iter().enumerate().skip(1) {
+            assert_eq!(img.dims(), &dims[..], "image {i} does not share one shape");
+        }
+        if eps == 0.0 {
+            return Tensor::zeros(&dims);
+        }
+        let mut delta = if self.random_start {
+            random_delta(&dims, eps, self.norm, rng)
+        } else {
+            Tensor::zeros(&dims)
+        };
+        let alpha = 2.5 * eps / self.epochs as f32;
+        for _ in 0..self.epochs {
+            let perturbed: Vec<Tensor> = images.iter().map(|x| apply(x, &delta)).collect();
+            let grads = model.loss_and_input_grads_batch(&perturbed, labels);
+            // The summed set gradient, folded in fixed image order on the
+            // caller thread — the thread-invariance linchpin.
+            let mut g = Tensor::zeros(&dims);
+            for (_, gi) in &grads {
+                g.add_scaled(gi, 1.0);
+            }
+            delta.add_scaled(&ascent_direction(&g, self.norm), alpha);
+            delta = project_ball(&delta, eps, self.norm);
+        }
+        delta
+    }
+}
+
+/// Crafts a universal delta with the default configuration (10 epochs,
+/// zero start) under `norm`. See [`UniversalAttack::craft_universal`].
+pub fn craft_universal(
+    model: &Sequential,
+    images: &[Tensor],
+    labels: &[usize],
+    eps: f32,
+    norm: Norm,
+    rng: &mut Rng,
+) -> Tensor {
+    UniversalAttack::new(norm).craft_universal(model, images, labels, eps, rng)
+}
+
+/// A uniformly random delta inside the eps-ball, drawn exactly like PGD's
+/// random start and constrained through the shared [`project_ball`].
+fn random_delta(dims: &[usize], eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
+    let mut noise = Tensor::zeros(dims);
+    match norm {
+        Norm::Linf => rng.fill_range_f32(noise.data_mut(), -eps, eps),
+        Norm::L2 => {
+            rng.fill_normal_f32(noise.data_mut(), 1.0);
+            let scale = rng.next_f32();
+            noise = normalized(&noise, Norm::L2).scaled(eps * scale);
+        }
+    }
+    project_ball(&noise, eps, norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn::layer::{Dense, Layer};
+    use axnn::loss::cross_entropy;
+
+    fn toy_model(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from_u64(seed);
+        Sequential::new(
+            "toy",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(16, 12, &mut rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(12, 3, &mut rng)),
+            ],
+        )
+    }
+
+    fn toy_images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut t = Tensor::zeros(&[1, 4, 4]);
+                rng.fill_range_f32(t.data_mut(), 0.2, 0.8);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_respects_budgets() {
+        let model = toy_model(1);
+        let images = toy_images(5, 2);
+        let labels = vec![0usize, 1, 2, 0, 1];
+        for (norm, eps) in [(Norm::Linf, 0.1f32), (Norm::L2, 0.5)] {
+            let mut rng = Rng::seed_from_u64(3);
+            let delta = craft_universal(&model, &images, &labels, eps, norm, &mut rng);
+            let n = match norm {
+                Norm::Linf => delta.linf_norm(),
+                Norm::L2 => delta.l2_norm(),
+            };
+            assert!(n <= eps * (1.0 + 1e-6), "{norm} budget violated: {n}");
+        }
+    }
+
+    #[test]
+    fn zero_eps_returns_zero_delta() {
+        let model = toy_model(4);
+        let images = toy_images(3, 5);
+        let labels = vec![0usize, 1, 2];
+        let mut rng = Rng::seed_from_u64(6);
+        let delta = craft_universal(&model, &images, &labels, 0.0, Norm::Linf, &mut rng);
+        assert_eq!(delta, Tensor::zeros(&[1, 4, 4]));
+    }
+
+    #[test]
+    fn delta_increases_mean_loss() {
+        let model = toy_model(7);
+        let images = toy_images(6, 8);
+        let labels: Vec<usize> = images.iter().map(|x| model.predict(x)).collect();
+        let mut rng = Rng::seed_from_u64(9);
+        let delta = craft_universal(&model, &images, &labels, 0.15, Norm::Linf, &mut rng);
+        let mean = |imgs: &[Tensor]| -> f32 {
+            imgs.iter()
+                .zip(&labels)
+                .map(|(x, &l)| cross_entropy(&model.forward(x), l))
+                .sum::<f32>()
+                / imgs.len() as f32
+        };
+        let clean = mean(&images);
+        let perturbed: Vec<Tensor> = images.iter().map(|x| apply(x, &delta)).collect();
+        let adv = mean(&perturbed);
+        assert!(
+            adv > clean,
+            "universal delta must raise mean loss: {clean} -> {adv}"
+        );
+    }
+
+    #[test]
+    fn default_configuration_is_rng_independent() {
+        let model = toy_model(10);
+        let images = toy_images(4, 11);
+        let labels = vec![0usize, 1, 2, 0];
+        let a = craft_universal(
+            &model,
+            &images,
+            &labels,
+            0.1,
+            Norm::L2,
+            &mut Rng::seed_from_u64(1),
+        );
+        let b = craft_universal(
+            &model,
+            &images,
+            &labels,
+            0.1,
+            Norm::L2,
+            &mut Rng::seed_from_u64(999),
+        );
+        assert_eq!(a, b, "zero-start crafting must not consume the RNG");
+    }
+
+    #[test]
+    fn random_start_is_deterministic_given_seed_and_stays_in_ball() {
+        let model = toy_model(12);
+        let images = toy_images(4, 13);
+        let labels = vec![0usize, 1, 2, 0];
+        let attack = UniversalAttack::new(Norm::Linf)
+            .with_epochs(3)
+            .with_random_start(true);
+        let a = attack.craft_universal(&model, &images, &labels, 0.1, &mut Rng::seed_from_u64(5));
+        let b = attack.craft_universal(&model, &images, &labels, 0.1, &mut Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert!(a.linf_norm() <= 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty dataset")]
+    fn empty_dataset_panics() {
+        let model = toy_model(14);
+        let mut rng = Rng::seed_from_u64(15);
+        let _ = craft_universal(&model, &[], &[], 0.1, Norm::Linf, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not share one shape")]
+    fn mixed_shape_images_panic() {
+        let model = toy_model(16);
+        let images = vec![Tensor::zeros(&[1, 4, 4]), Tensor::zeros(&[16])];
+        let mut rng = Rng::seed_from_u64(17);
+        let _ = craft_universal(&model, &images, &[0, 1], 0.1, Norm::Linf, &mut rng);
+    }
+}

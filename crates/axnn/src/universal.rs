@@ -1,0 +1,329 @@
+//! Universal adversarial training (Shafahi et al.) on the float engine.
+//!
+//! Shafahi et al. ("Universal Adversarial Training") harden a model
+//! against *universal* perturbations — one shared delta for the whole
+//! dataset — by alternating two SGD problems over the same minibatch
+//! stream: an **ascent** step that pushes the delta up the summed input
+//! gradient of the perturbed batch, and a **descent** step that updates
+//! the weights on the batch perturbed by the freshly updated delta.
+//! [`universal_adversarial_fit`] implements that alternation as a
+//! superset of [`fit`](crate::train::fit): the same single owned-weights
+//! plan, the same batch schedule, the same
+//! [`Sgd::step_plan_scaled`] in-place update (no per-step recompile), with
+//! the delta-ascent pass spliced in front of every weight step. The delta
+//! lives in the shared eps-ball geometry of [`axtensor::norms`]
+//! ([`project_ball`] after every ascent step, [`apply_delta`] to build
+//! perturbed pixels), so training and the `axattack` crafter see exactly
+//! the same constraint set.
+//!
+//! # Determinism and thread invariance
+//!
+//! Both passes ride the batched plan engine with per-image results folded
+//! in fixed left-to-right image order (the PR 4 contract): input
+//! gradients via [`FPlan::input_gradient_batch_indexed`](crate::plan::FPlan::input_gradient_batch_indexed)
+//! summed on the caller thread, parameter gradients via
+//! [`FPlan::loss_and_param_grads_batch`](crate::plan::FPlan::loss_and_param_grads_batch).
+//! History, weights and the returned delta are bit-identical for any
+//! `AXDNN_THREADS` setting.
+//!
+//! # The zero ball
+//!
+//! `eps == 0` pins the delta at the zero tensor and skips the ascent pass
+//! entirely, so the weight path executes the *same* floating-point
+//! operations as [`fit`](crate::train::fit): losses, accuracies and final
+//! weights are bitwise equal to a plain `fit` run with the same base
+//! config (pinned by `axquant/tests/prop_universal_train.rs` for the
+//! quantized twin of this loop).
+
+use axdata::Dataset;
+use axtensor::norms::{apply_delta, ascent_direction, project_ball, Norm};
+use axtensor::Tensor;
+
+use crate::model::Sequential;
+use crate::optim::Sgd;
+use crate::train::TrainConfig;
+
+/// Hyper-parameters for [`universal_adversarial_fit`]: a plain
+/// [`TrainConfig`] plus the universal-perturbation ball and step size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniversalTrainConfig {
+    /// The underlying SGD schedule (epochs, batches, lr, seed, ...).
+    pub base: TrainConfig,
+    /// Perturbation budget. `0.0` reduces the run exactly to
+    /// [`fit`](crate::train::fit).
+    pub eps: f32,
+    /// Ball norm for the delta.
+    pub norm: Norm,
+    /// Ascent step length as a multiple of `eps`. The default `1.0` is
+    /// Shafahi's FGSM-style full step (the per-epoch projection keeps the
+    /// delta inside the ball regardless).
+    pub delta_step: f32,
+}
+
+impl Default for UniversalTrainConfig {
+    fn default() -> Self {
+        UniversalTrainConfig {
+            base: TrainConfig::default(),
+            eps: 0.1,
+            norm: Norm::Linf,
+            delta_step: 1.0,
+        }
+    }
+}
+
+/// Per-epoch record of a universal adversarial training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniversalFitHistory {
+    /// Mean (perturbed-batch) training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Clean training accuracy per epoch (capped sample, as in `fit`).
+    pub accuracies: Vec<f32>,
+    /// Accuracy per epoch under the epoch's final delta, on the same
+    /// capped sample. Equals `accuracies` bitwise when `eps == 0`.
+    pub universal_accuracies: Vec<f32>,
+}
+
+/// Trains `model` with Shafahi's alternating delta/weight updates and
+/// returns the history plus the final universal delta (apply it with
+/// [`apply_delta`]).
+///
+/// Per minibatch: (1) if `eps > 0`, one batched input-gradient pass at
+/// `clip(x + delta)` whose per-image gradients are summed in image order,
+/// followed by an `eps * delta_step` step along
+/// [`ascent_direction`] and a [`project_ball`] projection; (2) one weight
+/// step on the batch perturbed by the *updated* delta, through the same
+/// in-place [`Sgd::step_plan_scaled`] path as
+/// [`fit`](crate::train::fit). The recorded loss comes from the weight
+/// pass, i.e. it is the adversarially perturbed training loss.
+///
+/// # Panics
+///
+/// Panics on an empty dataset or a negative budget.
+pub fn universal_adversarial_fit(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &UniversalTrainConfig,
+) -> (UniversalFitHistory, Tensor) {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(cfg.eps >= 0.0, "negative budget");
+    let in_dims = data.image(0).dims().to_vec();
+    let mut opt = Sgd::new(model, cfg.base.lr, cfg.base.momentum, cfg.base.weight_decay);
+    let mut plan = model.plan_owned(&in_dims);
+    let mut delta = Tensor::zeros(&in_dims);
+    let alpha = cfg.eps * cfg.delta_step;
+    let mut history = UniversalFitHistory {
+        losses: Vec::with_capacity(cfg.base.epochs),
+        accuracies: Vec::with_capacity(cfg.base.epochs),
+        universal_accuracies: Vec::with_capacity(cfg.base.epochs),
+    };
+    for epoch in 0..cfg.base.epochs {
+        let batches = data.batch_indices(
+            cfg.base.batch_size,
+            cfg.base.seed ^ (epoch as u64).wrapping_mul(0x9E37),
+        );
+        let mut loss_acc = 0.0f64;
+        for batch in &batches {
+            let n = batch.len();
+            if cfg.eps > 0.0 {
+                // Ascent: summed input gradient of the perturbed batch,
+                // folded in fixed image order on the caller thread.
+                let perturbed: Vec<Tensor> = batch
+                    .iter()
+                    .map(|&i| apply_delta(data.image(i), &delta))
+                    .collect();
+                let grads = plan.input_gradient_batch_indexed(
+                    n,
+                    |k| &perturbed[k],
+                    |k| data.label(batch[k]),
+                );
+                let mut g = Tensor::zeros(&in_dims);
+                for (_, gi) in &grads {
+                    g.add_scaled(gi, 1.0);
+                }
+                delta.add_scaled(&ascent_direction(&g, cfg.norm), alpha);
+                delta = project_ball(&delta, cfg.eps, cfg.norm);
+            }
+            // Descent: a plain `fit` weight step on the batch perturbed
+            // by the updated delta. The zero ball trains on the clean
+            // images directly — op-for-op identical to `fit`.
+            let (loss_sum, grads) = if cfg.eps == 0.0 {
+                plan.loss_and_param_grads_batch(
+                    n,
+                    |k| data.image(batch[k]),
+                    |k| data.label(batch[k]),
+                )
+            } else {
+                let perturbed: Vec<Tensor> = batch
+                    .iter()
+                    .map(|&i| apply_delta(data.image(i), &delta))
+                    .collect();
+                plan.loss_and_param_grads_batch(n, |k| &perturbed[k], |k| data.label(batch[k]))
+            };
+            opt.step_plan_scaled(&mut plan, &grads, 1.0 / n as f32);
+            loss_acc += (loss_sum / n as f32) as f64;
+        }
+        let mean_loss = (loss_acc / batches.len() as f64) as f32;
+        let n_eval = data.len().min(2000);
+        let correct = plan.count_correct(n_eval, |i| data.image(i), |i| data.label(i));
+        let acc = correct as f32 / n_eval as f32;
+        let univ_acc = if cfg.eps == 0.0 {
+            acc
+        } else {
+            let perturbed: Vec<Tensor> = (0..n_eval)
+                .map(|i| apply_delta(data.image(i), &delta))
+                .collect();
+            let c = plan.count_correct(n_eval, |i| &perturbed[i], |i| data.label(i));
+            c as f32 / n_eval as f32
+        };
+        history.losses.push(mean_loss);
+        history.accuracies.push(acc);
+        history.universal_accuracies.push(univ_acc);
+        if cfg.base.verbose {
+            eprintln!(
+                "[{}] universal epoch {}/{}: loss {:.4}, clean acc {:.2}%, universal acc {:.2}%",
+                model.name(),
+                epoch + 1,
+                cfg.base.epochs,
+                mean_loss,
+                100.0 * acc,
+                100.0 * univ_acc
+            );
+        }
+        opt.set_lr((opt.lr() * cfg.base.lr_decay).max(1e-5));
+    }
+    plan.store_weights_into(model);
+    (history, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Layer};
+    use crate::train::fit;
+    use axutil::rng::Rng;
+
+    /// A linearly separable 2-class dataset in 4 dimensions, shifted into
+    /// the pixel box `[0, 1]`.
+    fn boxed_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = rng.index(2);
+            let centre = if label == 0 { 0.25 } else { 0.75 };
+            let mut t = Tensor::zeros(&[4]);
+            for v in t.data_mut() {
+                *v = (centre + rng.normal_f32() * 0.05).clamp(0.0, 1.0);
+            }
+            images.push(t);
+            labels.push(label);
+        }
+        Dataset::new("boxed", images, labels, 2)
+    }
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from_u64(seed);
+        Sequential::new(
+            "mlp",
+            vec![
+                Layer::Dense(Dense::new(4, 8, &mut rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(8, 2, &mut rng)),
+            ],
+        )
+    }
+
+    #[test]
+    fn zero_eps_reduces_exactly_to_fit() {
+        let data = boxed_dataset(60, 1);
+        let cfg = UniversalTrainConfig {
+            base: TrainConfig {
+                epochs: 2,
+                batch_size: 8,
+                ..Default::default()
+            },
+            eps: 0.0,
+            ..Default::default()
+        };
+        let mut plain = mlp(2);
+        let mut universal = mlp(2);
+        let plain_hist = fit(&mut plain, &data, &cfg.base);
+        let (hist, delta) = universal_adversarial_fit(&mut universal, &data, &cfg);
+        assert_eq!(delta, Tensor::zeros(&[4]));
+        assert_eq!(hist.losses, plain_hist.losses);
+        assert_eq!(hist.accuracies, plain_hist.accuracies);
+        assert_eq!(hist.universal_accuracies, plain_hist.accuracies);
+        assert_eq!(plain, universal);
+    }
+
+    #[test]
+    fn training_is_deterministic_and_delta_in_ball() {
+        let data = boxed_dataset(50, 3);
+        let cfg = UniversalTrainConfig {
+            base: TrainConfig {
+                epochs: 2,
+                batch_size: 10,
+                ..Default::default()
+            },
+            eps: 0.08,
+            ..Default::default()
+        };
+        let mut m1 = mlp(4);
+        let mut m2 = mlp(4);
+        let (h1, d1) = universal_adversarial_fit(&mut m1, &data, &cfg);
+        let (h2, d2) = universal_adversarial_fit(&mut m2, &data, &cfg);
+        assert_eq!(h1, h2);
+        assert_eq!(d1, d2);
+        assert_eq!(m1, m2);
+        assert!(d1.linf_norm() <= 0.08);
+        assert_eq!(h1.losses.len(), 2);
+        assert_eq!(h1.universal_accuracies.len(), 2);
+    }
+
+    #[test]
+    fn hardened_model_resists_the_training_delta() {
+        // After universal adversarial training, the model's accuracy
+        // under its own training delta should be usable (the defense
+        // converged), and the history tracks both views.
+        let data = boxed_dataset(200, 5);
+        let cfg = UniversalTrainConfig {
+            base: TrainConfig {
+                epochs: 4,
+                batch_size: 16,
+                lr: 0.1,
+                ..Default::default()
+            },
+            eps: 0.1,
+            ..Default::default()
+        };
+        let mut model = mlp(6);
+        let (hist, delta) = universal_adversarial_fit(&mut model, &data, &cfg);
+        let last_univ = *hist.universal_accuracies.last().unwrap();
+        assert!(
+            last_univ > 0.9,
+            "universal accuracy after hardening: {:?}",
+            hist.universal_accuracies
+        );
+        assert!(delta.linf_norm() <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = Dataset::new("empty", Vec::new(), Vec::new(), 2);
+        let mut model = mlp(7);
+        let _ = universal_adversarial_fit(&mut model, &data, &UniversalTrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative budget")]
+    fn negative_eps_panics() {
+        let data = boxed_dataset(4, 8);
+        let mut model = mlp(9);
+        let cfg = UniversalTrainConfig {
+            eps: -0.1,
+            ..Default::default()
+        };
+        let _ = universal_adversarial_fit(&mut model, &data, &cfg);
+    }
+}

@@ -57,6 +57,7 @@ pub mod qlevel;
 pub mod qmodel;
 pub mod qparams;
 pub mod qtrain;
+pub mod universal;
 
 pub use placement::Placement;
 pub use plan::{QPlan, QScratch};

@@ -21,9 +21,11 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod norms;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use norms::Norm;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -36,6 +36,16 @@
 //! layer). Both tiers are asserted bit-identical before timing. Writes
 //! `BENCH_gemm.json`.
 //!
+//! Part 6 is the universal-robustness smoke: one universal delta is
+//! crafted on the quickstart FFNN's float surrogate and
+//! [`axrobust::experiments::run_universal_sweep`] measures clean vs
+//! delta-perturbed accuracy for three registry multipliers, before and
+//! after universal adversarial training. Like part 4 the pipeline is
+//! deterministic and thread-invariant, so `BENCH_universal.json`
+//! carries only replayable fields plus the boolean
+//! hardening-beats-PTQ-under-the-delta verdict; craft and sweep wall
+//! times go to stderr. Writes `BENCH_universal.json`.
+//!
 //! Every `BENCH_*.json` this binary writes is validated by the
 //! `bench_check` regression gate in CI.
 //!
@@ -45,7 +55,10 @@
 //! (default 60) and `AXDNN_BENCH_FAULTS` (default 6) size the fault
 //! campaign; `AXDNN_BENCH_MIN_LUT_REBUILD` (default 5.0 rebuilds/s)
 //! sets the LUT-rebuild throughput floor; `AXDNN_BENCH_GEMM_ITERS`
-//! (default 200) sets the inner repetitions of each timed GEMM call.
+//! (default 200) sets the inner repetitions of each timed GEMM call;
+//! `AXDNN_BENCH_UNIVERSAL_EVAL` (default 60) and
+//! `AXDNN_BENCH_UNIVERSAL_CRAFT` (default 80) size the universal
+//! sweep's evaluation and crafting samples.
 
 use std::time::Instant;
 
@@ -59,8 +72,9 @@ use axnn::zoo;
 use axnn::Sequential;
 use axquant::qtrain::{finetune, FinetuneConfig, QTrainPlan};
 use axquant::{Placement, QuantModel};
-use axrobust::experiments::run_fault_sweep;
+use axrobust::experiments::{run_fault_sweep, run_universal_sweep};
 use axrobust::faults::{sample_single_faults, FaultSweepOpts};
+use axrobust::UniversalSweepOpts;
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
@@ -219,7 +233,8 @@ fn main() {
     train_report(&images, &labels, n_images, reps, threads);
     finetune_report(reps, threads);
     gemm_report(reps);
-    faults_report(reps, orig_threads);
+    faults_report(reps, orig_threads.clone());
+    universal_report(orig_threads);
 }
 
 /// One GEMM workload of part 5: a conv im2col product or a dense matvec
@@ -672,4 +687,112 @@ fn faults_report(reps: usize, orig_threads: Option<String>) {
     // The text artifact is the deterministic sweep report alone — no
     // timings — so it too is byte-identical across runs.
     bench::emit("bench_faults", &report.to_text());
+}
+
+/// Part 6: the universal-robustness smoke (quickstart FFNN config, three
+/// registry multipliers). One universal delta is crafted on the float
+/// surrogate and shared by every victim column; each multiplier is then
+/// hardened with quantized universal adversarial training and re-judged
+/// against the *same* delta. Crafter, trainer and evaluation are all
+/// deterministic and thread-invariant, so every value in
+/// `BENCH_universal.json` replays byte-identically; the craft and sweep
+/// wall times go to stderr only. The verdict — hardening beats PTQ under
+/// the universal delta, averaged over the multiplier grid — is computed
+/// here and recorded as a boolean.
+fn universal_report(orig_threads: Option<String>) {
+    // Run under the caller's thread setting, like part 4.
+    match &orig_threads {
+        Some(v) => std::env::set_var("AXDNN_THREADS", v),
+        None => std::env::remove_var("AXDNN_THREADS"),
+    }
+    let n_eval = env_usize("AXDNN_BENCH_UNIVERSAL_EVAL", 60);
+    let n_craft = env_usize("AXDNN_BENCH_UNIVERSAL_CRAFT", 80);
+
+    // The quickstart smoke config: a briefly trained FFNN, quantized
+    // everywhere (the FFNN is dense-only, so `Placement::All` is what
+    // makes the victims actually route through the LUT multipliers).
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 400,
+        seed: 51,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 52,
+        ..Default::default()
+    });
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(50));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            ..Default::default()
+        },
+    );
+
+    let mults = ["1JFF", "17KS", "L40"];
+    let opts = UniversalSweepOpts {
+        craft_epochs: 5,
+        n_eval,
+        n_craft,
+        cfg: FinetuneConfig {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.005,
+            placement: Placement::All,
+            eval_cap: n_eval,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let (report, delta) =
+        run_universal_sweep(&model, &train, &test, &mults, &opts).expect("universal sweep");
+    let sweep_s = start.elapsed().as_secs_f64();
+    eprintln!(
+        "[universal sweep: {sweep_s:.1}s total, delta linf {:.4}]",
+        delta.linf_norm()
+    );
+
+    let mean = |f: fn(&axrobust::universal::UniversalRow) -> f32| {
+        report.rows.iter().map(|r| f(r) as f64).sum::<f64>() / report.rows.len() as f64
+    };
+    let hardening_helps = mean(|r| r.universal_after) > mean(|r| r.universal_before);
+    if !hardening_helps {
+        eprintln!("warning: universal training did not beat PTQ under the universal delta");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"universal_robustness\",\n");
+    json.push_str("  \"model\": \"ffnn-1x28\",\n");
+    json.push_str(&format!("  \"norm\": \"{}\",\n", report.norm));
+    json.push_str(&format!("  \"eps\": {},\n", report.eps));
+    json.push_str(&format!("  \"craft_epochs\": {},\n", report.craft_epochs));
+    json.push_str(&format!("  \"n_eval\": {n_eval},\n"));
+    json.push_str(&format!("  \"n_craft\": {n_craft},\n"));
+    json.push_str(&format!(
+        "  \"verdict\": {{\"hardening_helps\": {hardening_helps}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mult\": \"{}\", \"clean_before\": {:.4}, \"universal_before\": {:.4}, \
+             \"clean_after\": {:.4}, \"universal_after\": {:.4}}}{}\n",
+            row.mult,
+            row.clean_before,
+            row.universal_before,
+            row.clean_after,
+            row.universal_after,
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_universal.json", &json).expect("write BENCH_universal.json");
+    eprintln!("[saved BENCH_universal.json]");
+    // The text artifact is the deterministic sweep table alone, so it is
+    // byte-identical across runs too.
+    bench::emit("bench_universal", &report.to_text());
 }

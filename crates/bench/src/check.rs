@@ -21,6 +21,11 @@
 //!   (`lut_rebuild.meets_floor` — the floor itself is applied by
 //!   `bench_report`, which keeps the JSON free of jittering timings and
 //!   therefore byte-identical across runs),
+//! * the universal-robustness report carries sound accuracies per
+//!   multiplier and a hardening verdict that still holds
+//!   (`verdict.hardening_helps` — like the fine-tuning gate this check
+//!   is exact: the sweep is deterministic and thread-invariant, so
+//!   `BENCH_universal.json` replays byte-identically),
 //! * the serving report (`BENCH_serve.json`, written by `loadgen`)
 //!   conserves its request counters and each scenario still exhibits the
 //!   failure mode it deterministically injects ([`check_serve_report`]).
@@ -486,6 +491,78 @@ pub fn check_fault_report(
     errs
 }
 
+/// Validates the universal-robustness report (`BENCH_universal.json`):
+/// every expected multiplier row is present with its four accuracies in
+/// `[0, 1]`, the crafting configuration is sound (`eps > 0`,
+/// `craft_epochs >= 1`, a non-empty `norm`), and universal adversarial
+/// training still beats post-training quantization under the universal
+/// delta (`verdict.hardening_helps` — `bench_report` computes the
+/// verdict itself so the JSON stays free of float comparisons here, and
+/// the deterministic pipeline makes the check exact).
+pub fn check_universal_report(
+    doc: &Json,
+    file: &str,
+    entry_key: &str,
+    expected: &[ExpectedEntry],
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("norm").and_then(Json::as_str) {
+        Some(n) if !n.is_empty() => {}
+        _ => errs.push(format!("{file}: missing non-empty \"norm\"")),
+    }
+    match doc.get("eps").and_then(Json::as_f64) {
+        Some(e) if e > 0.0 => {}
+        Some(e) => errs.push(format!("{file}: eps {e} is not positive")),
+        None => errs.push(format!("{file}: missing numeric \"eps\"")),
+    }
+    match doc.get("craft_epochs").and_then(Json::as_f64) {
+        Some(e) if e >= 1.0 => {}
+        Some(e) => errs.push(format!("{file}: craft_epochs {e} is empty")),
+        None => errs.push(format!("{file}: missing numeric \"craft_epochs\"")),
+    }
+    match doc.get("verdict").and_then(|v| v.get("hardening_helps")) {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => errs.push(format!(
+            "{file}: universal adversarial training no longer beats PTQ \
+             under the universal delta"
+        )),
+        _ => errs.push(format!("{file}: verdict lacks boolean \"hardening_helps\"")),
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        errs.push(format!("{file}: missing or non-array \"results\""));
+        return errs;
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    const ACC_FIELDS: [&str; 4] = [
+        "clean_before",
+        "clean_after",
+        "universal_before",
+        "universal_after",
+    ];
+    for (i, entry) in results.iter().enumerate() {
+        match entry.get(entry_key).and_then(Json::as_str) {
+            Some(n) => seen.push(n),
+            None => errs.push(format!("{file}: results[{i}] lacks \"{entry_key}\"")),
+        }
+        for field in ACC_FIELDS {
+            match entry.get(field).and_then(Json::as_f64) {
+                Some(a) if (0.0..=1.0).contains(&a) => {}
+                Some(a) => errs.push(format!("{file}: results[{i}].{field} = {a} outside [0, 1]")),
+                None => errs.push(format!("{file}: results[{i}] lacks numeric \"{field}\"")),
+            }
+        }
+    }
+    for want in expected {
+        if !seen.contains(&want.name) {
+            errs.push(format!(
+                "{file}: expected {entry_key} entry \"{}\" missing",
+                want.name
+            ));
+        }
+    }
+    errs
+}
+
 /// Validates the serving loadgen report (`BENCH_serve.json`): every
 /// expected scenario row is present with sound counters and latency
 /// quantiles, counter conservation holds (`completed + shed + deadline +
@@ -611,6 +688,8 @@ pub enum ReportKind {
     Finetune,
     /// Fault-campaign report ([`check_fault_report`]).
     FaultCampaign,
+    /// Universal-robustness report ([`check_universal_report`]).
+    Universal,
     /// Serving loadgen report ([`check_serve_report`]).
     Serve,
 }
@@ -643,6 +722,9 @@ pub fn validate_report(spec: &ReportSpec, doc: &Json, min_speedup: f64) -> Vec<S
         }
         ReportKind::FaultCampaign => {
             check_fault_report(doc, spec.file, spec.entry_key, &spec.expected)
+        }
+        ReportKind::Universal => {
+            check_universal_report(doc, spec.file, spec.entry_key, &spec.expected)
         }
         ReportKind::Serve => check_serve_report(doc, spec.file, spec.entry_key, &spec.expected),
     }
@@ -712,6 +794,16 @@ pub fn expected_reports() -> Vec<ReportSpec> {
             file: "BENCH_faults.json",
             entry_key: "mult",
             kind: ReportKind::FaultCampaign,
+            expected: vec![
+                ExpectedEntry::new("1JFF"),
+                ExpectedEntry::new("17KS"),
+                ExpectedEntry::new("L40"),
+            ],
+        },
+        ReportSpec {
+            file: "BENCH_universal.json",
+            entry_key: "mult",
+            kind: ReportKind::Universal,
             expected: vec![
                 ExpectedEntry::new("1JFF"),
                 ExpectedEntry::new("17KS"),
@@ -920,6 +1012,92 @@ mod tests {
             ..spec
         };
         assert!(!validate_report(&ft, &healthy_fault_doc(), 0.8).is_empty());
+    }
+
+    fn healthy_universal_doc() -> Json {
+        Json::parse(
+            r#"{
+  "bench": "universal_robustness",
+  "norm": "linf",
+  "eps": 0.1,
+  "craft_epochs": 5,
+  "verdict": {"hardening_helps": true},
+  "results": [
+    {"mult": "1JFF", "clean_before": 0.9, "universal_before": 0.4,
+     "clean_after": 0.88, "universal_after": 0.7}
+  ]
+}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn universal_check_passes_a_healthy_report() {
+        let errs = check_universal_report(
+            &healthy_universal_doc(),
+            "u",
+            "mult",
+            &[ExpectedEntry::new("1JFF")],
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn universal_check_flags_broken_reports() {
+        // A failed hardening verdict, an out-of-range accuracy and a
+        // missing expected multiplier.
+        let doc = Json::parse(
+            r#"{"norm": "linf", "eps": 0.1, "craft_epochs": 5,
+                "verdict": {"hardening_helps": false},
+                "results": [
+                  {"mult": "L40", "clean_before": 0.9, "universal_before": 1.4,
+                   "clean_after": 0.9, "universal_after": 0.7}
+                ]}"#,
+        )
+        .unwrap();
+        let errs = check_universal_report(&doc, "u", "mult", &[ExpectedEntry::new("1JFF")]);
+        assert!(
+            errs.iter().any(|e| e.contains("no longer beats PTQ")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("outside [0, 1]")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("1JFF")), "{errs:?}");
+
+        // A degenerate crafting config.
+        let doc = Json::parse(
+            r#"{"norm": "linf", "eps": 0.0, "craft_epochs": 0,
+                "verdict": {"hardening_helps": true}, "results": []}"#,
+        )
+        .unwrap();
+        let errs = check_universal_report(&doc, "u", "mult", &[]);
+        assert!(errs.iter().any(|e| e.contains("not positive")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("craft_epochs")), "{errs:?}");
+
+        // Structurally missing pieces: norm, eps, craft_epochs, verdict
+        // and the results array.
+        let doc = Json::parse(r#"{"bench": "universal_robustness"}"#).unwrap();
+        let errs = check_universal_report(&doc, "u", "mult", &[]);
+        assert_eq!(errs.len(), 5, "{errs:?}");
+    }
+
+    #[test]
+    fn universal_dispatch_by_kind() {
+        let spec = ReportSpec {
+            file: "u",
+            entry_key: "mult",
+            kind: ReportKind::Universal,
+            expected: vec![ExpectedEntry::new("1JFF")],
+        };
+        assert!(validate_report(&spec, &healthy_universal_doc(), 0.8).is_empty());
+        // The fault checker rejects the same doc: the dispatch is real.
+        let fc = ReportSpec {
+            kind: ReportKind::FaultCampaign,
+            ..spec
+        };
+        assert!(!validate_report(&fc, &healthy_universal_doc(), 0.8).is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 use crate::grid::RobustnessGrid;
 use crate::quantstudy::{quantization_study, QuantStudy};
 use crate::transfer::{transferability, TransferSource, TransferTable, TransferVictim};
+use crate::universal::{universal_robustness_sweep, UniversalReport, UniversalSweepOpts};
 
 /// Sampling options shared by the figure drivers.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +217,31 @@ pub fn run_fault_sweep(
         })
         .collect();
     fault_robustness_sweep(source, victim, &mults, data, opts)
+}
+
+/// Universal-perturbation robustness per named registry multiplier:
+/// clean vs. universal-delta accuracy, before and after universal
+/// adversarial training (no paper figure — the extension motivated in
+/// the ROADMAP). Returns the report plus the crafted delta.
+///
+/// # Errors
+///
+/// Propagates configuration errors (empty name list, empty datasets)
+/// from [`universal_robustness_sweep`]; panics if a name is not
+/// registered.
+pub fn run_universal_sweep(
+    model: &Sequential,
+    train: &Dataset,
+    test: &Dataset,
+    names: &[&str],
+    opts: &UniversalSweepOpts,
+) -> Result<(UniversalReport, Tensor), AxError> {
+    let reg = Registry::standard();
+    let mults: Vec<(String, MulLut)> = names
+        .iter()
+        .map(|name| ((*name).to_owned(), reg.build_lut(name).expect("registered")))
+        .collect();
+    universal_robustness_sweep(model, &mults, train, test, opts)
 }
 
 /// Fig 8: quantized vs non-quantized accurate LeNet-5, all ten attacks.

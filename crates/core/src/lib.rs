@@ -21,6 +21,10 @@
 //! * [`faults`] — robustness under stuck-at hardware faults: sampled
 //!   single-fault campaigns per multiplier, re-characterized into
 //!   defective LUTs and measured against the fault-free baseline.
+//! * [`universal`] — universal-perturbation robustness: one shared delta
+//!   crafted on the float surrogate, every victim multiplier evaluated
+//!   clean vs. perturbed, before and after universal adversarial
+//!   training.
 //! * [`quantstudy`] — the quantization study (Fig 8).
 //! * [`experiments`] — per-figure drivers with the paper's epsilon grid
 //!   and multiplier sets.
@@ -68,7 +72,9 @@ pub mod retrain;
 pub mod store;
 pub mod threat;
 pub mod transfer;
+pub mod universal;
 
 pub use eval::{robustness_grid, EvalOpts};
 pub use faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 pub use grid::RobustnessGrid;
+pub use universal::{universal_robustness_sweep, UniversalReport, UniversalSweepOpts};

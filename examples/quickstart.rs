@@ -3,8 +3,10 @@
 //! Trains a small FFNN on synthetic MNIST, quantizes it to int8, swaps in
 //! an approximate multiplier, compares robustness of the accurate and
 //! approximate victims under a PGD-linf attack, runs a stuck-at
-//! fault-injection campaign over the multiplier circuits, and finishes by
-//! standing the quantized model up behind the batched serving engine.
+//! fault-injection campaign over the multiplier circuits, measures
+//! universal-perturbation robustness before vs. after universal
+//! adversarial training, and finishes by standing the quantized model up
+//! behind the batched serving engine.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -13,10 +15,12 @@ use axdnn::data::mnist::{MnistConfig, SynthMnist};
 use axdnn::mul::Registry;
 use axdnn::nn::train::{fit, TrainConfig};
 use axdnn::nn::zoo;
+use axdnn::quant::qtrain::FinetuneConfig;
 use axdnn::quant::{Placement, QuantModel};
 use axdnn::robust::eval::{robustness_grid, EvalOpts};
-use axdnn::robust::experiments::run_fault_sweep;
+use axdnn::robust::experiments::{run_fault_sweep, run_universal_sweep};
 use axdnn::robust::faults::FaultSweepOpts;
+use axdnn::robust::UniversalSweepOpts;
 use axdnn::serve::{Request, Server, ServerConfig};
 use axdnn::tensor::Tensor;
 use axdnn::util::rng::Rng;
@@ -106,7 +110,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\n{}", faults.to_text());
 
-    // 7. Serve it: concurrent predicts coalesce into batched passes, with
+    // 7. Universal robustness: craft ONE shared delta on the float model,
+    // then compare clean vs delta-perturbed accuracy per multiplier —
+    // post-training quantization vs after universal adversarial training
+    // (the same delta judges both; the adversary's surrogate is fixed).
+    let (universal, delta) = run_universal_sweep(
+        &model,
+        &train,
+        &test,
+        &["1JFF", "L40"],
+        &UniversalSweepOpts {
+            craft_epochs: 3,
+            n_eval: 60,
+            n_craft: 60,
+            cfg: FinetuneConfig {
+                epochs: 1,
+                batch_size: 32,
+                lr: 0.005,
+                placement: Placement::All,
+                eval_cap: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )?;
+    println!("\n{}", universal.to_text());
+    println!("universal delta linf norm: {:.4}", delta.linf_norm());
+
+    // 8. Serve it: concurrent predicts coalesce into batched passes, with
     // deadlines, backpressure and panic isolation handled by the server.
     let served = QuantModel::from_float(&model, &calib, Placement::All)?;
     let server = Server::builder()
