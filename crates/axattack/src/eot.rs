@@ -1,0 +1,393 @@
+//! Expectation-over-Transformation: the adaptive attacker against a
+//! moving-target kernel ensemble.
+//!
+//! A randomized ensemble answers each query through a kernel sampled
+//! from a distribution the attacker knows but cannot pin down per query
+//! (Athalye et al.'s EOT setting). The adaptive response is to ascend
+//! the *expected* loss: at every PGD step, sample `K` kernels from the
+//! disclosed distribution and average the input gradients of their
+//! float surrogates. [`EotAttack::craft_batch_over`] implements exactly
+//! that on the batched gradient engine; the surrogate for kernel `k` is
+//! whatever float model the attacker holds for it (the shared source
+//! model under the paper's threat model, or per-kernel fine-tuned
+//! shadows).
+//!
+//! **Degenerate contract.** With one surrogate and one sample per step
+//! the kernel draw selects the only surrogate and the "average" is the
+//! single gradient tensor itself — no sum, no rescale — so the crafted
+//! batch is **bit-identical** to [`Pgd`](crate::gradient::Pgd) at the
+//! same step count and base stream. Image `i` always crafts under the
+//! derived stream `rng.derive(i as u64)` (random start first, then the
+//! per-step kernel draws), making the batch bit-exact with the scalar
+//! [`Attack::craft`] loop for any thread chunking, like every other
+//! attack in this crate.
+
+use axnn::plan::{FPlan, FScratch};
+use axnn::Sequential;
+use axtensor::Tensor;
+use axutil::{parallel, rng::Rng};
+
+use crate::gradient::{ascend, random_start};
+use crate::norms::Norm;
+use crate::Attack;
+
+/// PGD over the expected loss of a surrogate ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EotAttack {
+    norm: Norm,
+    steps: usize,
+    samples: usize,
+}
+
+impl EotAttack {
+    /// Creates an EOT attack with the default 10 steps and 1 gradient
+    /// sample per step.
+    pub fn new(norm: Norm) -> Self {
+        EotAttack {
+            norm,
+            steps: 10,
+            samples: 1,
+        }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0);
+        self.steps = steps;
+        self
+    }
+
+    /// Overrides the number of kernel draws averaged per step.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0);
+        self.samples = samples;
+        self
+    }
+
+    /// Gradient samples averaged per step.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Crafts adversarial examples against a surrogate *ensemble*:
+    /// `surrogates[k]` is the attacker's float model for kernel column
+    /// `k`, sampled with unnormalized probability `weights[k]` (zero
+    /// weights are never drawn). Per image and per step, `samples`
+    /// kernels are drawn from the image's derived stream and their
+    /// input gradients averaged before the shared
+    /// [`ascend`](crate::gradient) update.
+    ///
+    /// With a single surrogate and `samples == 1` this reduces bitwise
+    /// to [`Pgd::craft_batch`](crate::gradient::Pgd) at the same step
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `surrogates` is empty, disagrees with `weights` in
+    /// length, any weight is negative or non-finite, the total mass is
+    /// zero, `images` and `labels` disagree in length, or `eps` is
+    /// negative.
+    pub fn craft_batch_over(
+        &self,
+        surrogates: &[&Sequential],
+        weights: &[f32],
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        assert!(
+            !surrogates.is_empty(),
+            "EOT requires at least one surrogate"
+        );
+        assert_eq!(
+            surrogates.len(),
+            weights.len(),
+            "EOT surrogate/weight arity mismatch"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "EOT weights must be finite and non-negative: {weights:?}"
+        );
+        let total: f32 = weights.iter().sum();
+        assert!(
+            total > 0.0,
+            "EOT weights must carry positive total probability mass"
+        );
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(eps >= 0.0, "negative budget");
+        if images.is_empty() || eps == 0.0 {
+            return images.to_vec();
+        }
+        let alpha = 2.5 * eps / self.steps as f32;
+        let plans: Vec<FPlan<'_>> = surrogates
+            .iter()
+            .map(|m| m.plan(images[0].dims()))
+            .collect();
+        for plan in &plans {
+            plan.prepare_backward();
+        }
+        parallel::par_map_chunks(images.len(), |range| {
+            let mut scratches: Vec<FScratch> = plans.iter().map(|p| p.scratch()).collect();
+            range
+                .map(|i| {
+                    let mut stream = rng.derive(i as u64);
+                    self.iterate(
+                        &plans,
+                        &mut scratches,
+                        weights,
+                        total,
+                        &images[i],
+                        labels[i],
+                        eps,
+                        alpha,
+                        &mut stream,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// One image's full EOT trajectory: PGD random start, then `steps`
+    /// ascents along the averaged sampled gradients. All randomness —
+    /// the start and the kernel draws — comes from the image's own
+    /// `rng` stream, in that order.
+    #[allow(clippy::too_many_arguments)]
+    fn iterate(
+        &self,
+        plans: &[FPlan<'_>],
+        scratches: &mut [FScratch],
+        weights: &[f32],
+        total: f32,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        alpha: f32,
+        rng: &mut Rng,
+    ) -> Tensor {
+        let mut adv = random_start(x, eps, self.norm, rng);
+        for _ in 0..self.steps {
+            let grad = if self.samples == 1 {
+                // Single draw: the gradient tensor is used as-is, which
+                // is what makes the one-surrogate case bitwise PGD.
+                let k = sample_surrogate(weights, total, rng.next_f32());
+                plans[k].input_gradient(&mut scratches[k], &adv, label).1
+            } else {
+                let mut acc: Option<Tensor> = None;
+                for _ in 0..self.samples {
+                    let k = sample_surrogate(weights, total, rng.next_f32());
+                    let g = plans[k].input_gradient(&mut scratches[k], &adv, label).1;
+                    match acc.as_mut() {
+                        None => acc = Some(g),
+                        Some(a) => a.add_scaled(&g, 1.0),
+                    }
+                }
+                acc.expect("samples > 0").scaled(1.0 / self.samples as f32)
+            };
+            adv = ascend(&adv, x, &grad, alpha, eps, self.norm);
+        }
+        adv
+    }
+}
+
+/// The surrogate index whose cumulative-mass interval contains
+/// `u * total` (`u` uniform in `[0, 1)`), skipping zero-weight columns.
+/// Mirrors `KernelPolicy::sample` in `axquant` so the attacker draws
+/// from the same distribution the defender samples.
+fn sample_surrogate(weights: &[f32], total: f32, u: f32) -> usize {
+    let target = u * total;
+    let mut acc = 0.0f32;
+    let mut last = 0;
+    for (k, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            last = k;
+            acc += w;
+            if target < acc {
+                return k;
+            }
+        }
+    }
+    // Round-off can leave `target == total`; the last positive-mass
+    // column absorbs it.
+    last
+}
+
+impl Attack for EotAttack {
+    fn name(&self) -> String {
+        format!("EOT-{}", self.norm)
+    }
+
+    /// The single-surrogate scalar path: identical to batched crafting
+    /// of a one-image set under the same (already derived) stream.
+    fn craft(
+        &self,
+        model: &Sequential,
+        x: &Tensor,
+        label: usize,
+        eps: f32,
+        rng: &mut Rng,
+    ) -> Tensor {
+        assert!(eps >= 0.0, "negative budget");
+        if eps == 0.0 {
+            return x.clone();
+        }
+        let alpha = 2.5 * eps / self.steps as f32;
+        let plan = model.plan(x.dims());
+        plan.prepare_backward();
+        let mut scratches = [plan.scratch()];
+        let plans = [plan];
+        self.iterate(
+            &plans,
+            &mut scratches,
+            &[1.0],
+            1.0,
+            x,
+            label,
+            eps,
+            alpha,
+            rng,
+        )
+    }
+
+    fn craft_batch(
+        &self,
+        model: &Sequential,
+        images: &[Tensor],
+        labels: &[usize],
+        eps: f32,
+        rng: &Rng,
+    ) -> Vec<Tensor> {
+        self.craft_batch_over(&[model], &[1.0], images, labels, eps, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::Pgd;
+    use axnn::layer::{Dense, Layer};
+
+    fn toy_model(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from_u64(seed);
+        Sequential::new(
+            "toy",
+            vec![
+                Layer::Flatten,
+                Layer::Dense(Dense::new(16, 12, &mut rng)),
+                Layer::Relu,
+                Layer::Dense(Dense::new(12, 3, &mut rng)),
+            ],
+        )
+    }
+
+    fn toy_images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut t = Tensor::zeros(&[1, 4, 4]);
+                rng.fill_range_f32(t.data_mut(), 0.1, 0.9);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_sample_single_surrogate_is_bitwise_pgd() {
+        let model = toy_model(3);
+        let imgs = toy_images(6, 4);
+        let labels: Vec<usize> = (0..imgs.len()).map(|i| i % 3).collect();
+        for norm in [Norm::Linf, Norm::L2] {
+            let base = Rng::seed_from_u64(0xE07);
+            let eot = EotAttack::new(norm).with_steps(4);
+            let pgd = Pgd::new(norm).with_steps(4);
+            assert_eq!(
+                eot.craft_batch_over(&[&model], &[1.0], &imgs, &labels, 0.09, &base),
+                pgd.craft_batch(&model, &imgs, &labels, 0.09, &base),
+                "degenerate EOT ({norm}) must be plain PGD, bit for bit"
+            );
+        }
+    }
+
+    #[test]
+    fn craft_batch_matches_scalar_craft() {
+        let model = toy_model(5);
+        let imgs = toy_images(5, 6);
+        let labels: Vec<usize> = (0..imgs.len()).map(|i| (i * 2) % 3).collect();
+        let base = Rng::seed_from_u64(7);
+        let eot = EotAttack::new(Norm::Linf).with_steps(3).with_samples(2);
+        let batch = eot.craft_batch(&model, &imgs, &labels, 0.1, &base);
+        for (i, (img, &lbl)) in imgs.iter().zip(&labels).enumerate() {
+            let scalar = eot.craft(&model, img, lbl, 0.1, &mut base.derive(i as u64));
+            assert_eq!(batch[i], scalar, "batch image {i} != scalar craft");
+        }
+    }
+
+    #[test]
+    fn multi_surrogate_averaging_respects_the_budget() {
+        let models = [toy_model(8), toy_model(9)];
+        let surrogates: Vec<&Sequential> = models.iter().collect();
+        let imgs = toy_images(4, 10);
+        let labels = vec![0usize, 1, 2, 0];
+        let base = Rng::seed_from_u64(11);
+        let eot = EotAttack::new(Norm::Linf).with_steps(5).with_samples(3);
+        let advs = eot.craft_batch_over(&surrogates, &[1.0, 2.0], &imgs, &labels, 0.08, &base);
+        for (adv, img) in advs.iter().zip(&imgs) {
+            assert!(adv.linf_dist(img) <= 0.08 + 1e-5);
+            assert!(adv.data().iter().all(|v| (0.0..=1.0).contains(v)));
+            assert_ne!(adv, img, "EOT left an image untouched");
+        }
+    }
+
+    #[test]
+    fn zero_weight_surrogates_are_never_drawn() {
+        // Weight the second surrogate at zero: the crafted batch must be
+        // bitwise what the first surrogate alone produces.
+        let models = [toy_model(12), toy_model(13)];
+        let surrogates: Vec<&Sequential> = models.iter().collect();
+        let imgs = toy_images(4, 14);
+        let labels = vec![1usize, 2, 0, 1];
+        let base = Rng::seed_from_u64(15);
+        let eot = EotAttack::new(Norm::L2).with_steps(3).with_samples(2);
+        assert_eq!(
+            eot.craft_batch_over(&surrogates, &[1.0, 0.0], &imgs, &labels, 0.1, &base),
+            eot.craft_batch_over(&[&models[0]], &[1.0], &imgs, &labels, 0.1, &base),
+        );
+    }
+
+    #[test]
+    fn eps_zero_returns_clean_images() {
+        let model = toy_model(16);
+        let imgs = toy_images(3, 17);
+        let labels = vec![0usize, 1, 2];
+        let base = Rng::seed_from_u64(18);
+        let eot = EotAttack::new(Norm::Linf).with_samples(4);
+        assert_eq!(
+            eot.craft_batch_over(&[&model], &[1.0], &imgs, &labels, 0.0, &base),
+            imgs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one surrogate")]
+    fn empty_surrogate_set_panics() {
+        let imgs = toy_images(1, 19);
+        let eot = EotAttack::new(Norm::Linf);
+        let _ = eot.craft_batch_over(&[], &[], &imgs, &[0], 0.1, &Rng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total probability mass")]
+    fn zero_mass_weights_panic() {
+        let model = toy_model(20);
+        let imgs = toy_images(1, 21);
+        let eot = EotAttack::new(Norm::Linf);
+        let _ = eot.craft_batch_over(
+            &[&model, &model],
+            &[0.0, 0.0],
+            &imgs,
+            &[0],
+            0.1,
+            &Rng::seed_from_u64(0),
+        );
+    }
+}

@@ -187,7 +187,7 @@ impl Attack for Pgd {
 /// The single definition of the update rule — scalar and batched
 /// FGM/BIM/PGD all step through here, which is what makes the
 /// batch-vs-scalar bit-identity structural rather than hand-synced.
-fn ascend(
+pub(crate) fn ascend(
     cur: &Tensor,
     origin: &Tensor,
     grad: &Tensor,
@@ -206,7 +206,7 @@ fn ascend(
 /// shared [`project_ball`] — the same geometry the universal crafter's
 /// per-epoch projection uses — then clipped to the pixel box. Shared by
 /// the scalar and batched loops.
-fn random_start(x: &Tensor, eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
+pub(crate) fn random_start(x: &Tensor, eps: f32, norm: Norm, rng: &mut Rng) -> Tensor {
     let mut noise = Tensor::zeros(x.dims());
     match norm {
         Norm::Linf => rng.fill_range_f32(noise.data_mut(), -eps, eps),

@@ -25,7 +25,11 @@
 //!
 //! Beyond the paper's per-image attacks, [`universal`] crafts a single
 //! *universal* perturbation — one shared delta optimized over a whole
-//! evaluation set (Shafahi et al.) — on the same batched gradient engine.
+//! evaluation set (Shafahi et al.) — on the same batched gradient engine,
+//! and [`eot`] is the adaptive attacker against a randomized kernel
+//! ensemble: PGD over the expected loss of the ensemble's surrogate
+//! distribution (Athalye et al.), reducing bitwise to plain PGD in the
+//! single-kernel, single-sample case.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod decision;
+pub mod eot;
 pub mod gradient;
 pub mod norms;
 pub mod suite;
@@ -54,6 +59,7 @@ use axnn::Sequential;
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
+pub use eot::EotAttack;
 pub use norms::Norm;
 
 /// An adversarial attack against a float model.

@@ -1,0 +1,181 @@
+//! Named kernel columns: the ordered multiplier set of a sweep.
+//!
+//! Every sweep in the workspace — robustness grids, fault campaigns,
+//! fine-tuning and universal-robustness comparisons, and the
+//! moving-target ensemble — evaluates an ordered set of named kernels
+//! whose **first entry is the accurate M1 baseline** (the paper's
+//! convention: column 1 of every figure is the exact part, the rest are
+//! approximate). [`Columns`] makes that convention a constructed
+//! invariant instead of an ad-hoc `&[(String, …)]` slice: construction
+//! panics on an empty set, so `m1()` and `len() >= 1` hold everywhere
+//! downstream without re-validation.
+//!
+//! Two aliases cover the workspace's payloads: [`MulColumns`] carries
+//! inference LUTs ([`MulLut`]) for the accuracy sweeps, [`NetColumns`]
+//! carries gate-level netlists ([`axcirc::Netlist`]) for the
+//! fault-injection campaigns.
+
+use crate::lut::MulLut;
+use crate::registry::Registry;
+
+/// An ordered, non-empty set of named kernel columns. The first entry is
+/// the accurate M1 baseline by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Columns<T> {
+    entries: Vec<(String, T)>,
+}
+
+/// Named [`MulLut`] columns — the accuracy-sweep payload.
+pub type MulColumns = Columns<MulLut>;
+
+/// Named [`axcirc::Netlist`] columns — the fault-campaign payload.
+pub type NetColumns = Columns<axcirc::Netlist>;
+
+impl<T> Columns<T> {
+    /// Builds columns from `(name, payload)` pairs. The first pair is
+    /// the accurate M1 baseline — callers own that ordering, the
+    /// constructor owns non-emptiness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty: a sweep over zero columns has no
+    /// M1 baseline and no meaning.
+    pub fn from_pairs(entries: Vec<(String, T)>) -> Self {
+        assert!(
+            !entries.is_empty(),
+            "Columns requires at least one (name, kernel) entry: \
+             the first column is the accurate M1 baseline"
+        );
+        Columns { entries }
+    }
+
+    /// Number of columns (always at least 1).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false`: emptiness is rejected at construction. Provided
+    /// for API completeness alongside [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The name of column `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.entries[i].0
+    }
+
+    /// The kernel payload of column `i`.
+    pub fn payload(&self, i: usize) -> &T {
+        &self.entries[i].1
+    }
+
+    /// The accurate M1 baseline: the first column.
+    pub fn m1(&self) -> (&str, &T) {
+        (&self.entries[0].0, &self.entries[0].1)
+    }
+
+    /// Iterates `(name, payload)` in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &T)> {
+        self.entries.iter().map(|(n, p)| (n.as_str(), p))
+    }
+
+    /// The column names, in order, as owned strings (grid headers).
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// The payloads, in order, as borrows (batched multi-kernel passes).
+    pub fn payloads(&self) -> Vec<&T> {
+        self.entries.iter().map(|(_, p)| p).collect()
+    }
+}
+
+impl MulColumns {
+    /// Builds LUT columns for registry part `names`, preserving order
+    /// (so `names[0]` must be the accurate M1 part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or contains an unregistered part.
+    pub fn from_registry(reg: &Registry, names: &[&str]) -> MulColumns {
+        Columns::from_pairs(
+            names
+                .iter()
+                .map(|name| {
+                    (
+                        (*name).to_owned(),
+                        reg.build_lut(name)
+                            .unwrap_or_else(|| panic!("multiplier {name} is not registered")),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl NetColumns {
+    /// Builds gate-level netlist columns for registry part `names`,
+    /// preserving order (so `names[0]` must be the accurate M1 part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or contains an unregistered part.
+    pub fn from_registry(reg: &Registry, names: &[&str]) -> NetColumns {
+        Columns::from_pairs(
+            names
+                .iter()
+                .map(|name| {
+                    (
+                        (*name).to_owned(),
+                        reg.find(name)
+                            .unwrap_or_else(|| panic!("multiplier {name} is not registered"))
+                            .build_netlist(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_expose_names_payloads_and_m1() {
+        let cols = Columns::from_pairs(vec![("M1".to_owned(), 10u32), ("M2".to_owned(), 20)]);
+        assert_eq!(cols.len(), 2);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.m1(), ("M1", &10));
+        assert_eq!(cols.name(1), "M2");
+        assert_eq!(cols.payload(1), &20);
+        assert_eq!(cols.names(), vec!["M1".to_owned(), "M2".to_owned()]);
+        assert_eq!(cols.payloads(), vec![&10, &20]);
+        let pairs: Vec<_> = cols.iter().collect();
+        assert_eq!(pairs, vec![("M1", &10), ("M2", &20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_columns_panic() {
+        let _ = Columns::<u32>::from_pairs(Vec::new());
+    }
+
+    #[test]
+    fn registry_columns_preserve_order() {
+        let reg = Registry::standard();
+        let cols = MulColumns::from_registry(&reg, &["1JFF", "L40"]);
+        assert_eq!(cols.m1().0, "1JFF");
+        assert_eq!(cols.name(1), "L40");
+        let nets = NetColumns::from_registry(&reg, &["1JFF", "17KS"]);
+        assert_eq!(nets.m1().0, "1JFF");
+        assert!(nets.payload(1).len() > 2, "netlist must have gates");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_registry_name_panics() {
+        let _ = MulColumns::from_registry(&Registry::standard(), &["NOPE"]);
+    }
+}

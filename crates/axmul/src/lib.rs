@@ -23,6 +23,10 @@
 //! * [`faulted`] — the same tables with stuck-at faults injected at the
 //!   netlist layer ([`faulted::FaultedMul`]), for hardware-defect
 //!   robustness sweeps.
+//! * [`columns`] — ordered named kernel sets ([`columns::MulColumns`],
+//!   [`columns::NetColumns`]) with the "first entry is the accurate M1"
+//!   invariant enforced at construction; the multiplier-set type every
+//!   sweep and the moving-target ensemble share.
 //! * [`spec`] — a named multiplier specification (name, family, recipe,
 //!   calibration target).
 //! * [`registry`] — the named parts and the per-figure sets used by the
@@ -46,6 +50,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod columns;
 pub mod faulted;
 pub mod kernel;
 pub mod lut;
@@ -54,6 +59,7 @@ pub mod registry;
 pub mod signed;
 pub mod spec;
 
+pub use columns::{Columns, MulColumns, NetColumns};
 pub use faulted::FaultedMul;
 pub use kernel::{ExactMul, MulBackend, MulKernel};
 pub use lut::{transpose_table, MulLut};

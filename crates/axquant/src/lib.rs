@@ -27,6 +27,11 @@
 //!   estimator backward over the quantized forward, retraining float
 //!   shadow weights against the chosen multiplier (the retraining
 //!   defense of the paper's Sec. V).
+//! * [`ensemble`] — moving-target defense: [`ensemble::EnsembleModel`]
+//!   answers each query through a kernel sampled per query index by a
+//!   [`ensemble::KernelPolicy`] (deterministic derived-stream draws,
+//!   thread-invariant), grouped by sampled kernel so inference stays
+//!   batched.
 //!
 //! # Examples
 //!
@@ -50,6 +55,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod ensemble;
 pub mod exec;
 pub mod placement;
 pub mod plan;
@@ -59,6 +65,7 @@ pub mod qparams;
 pub mod qtrain;
 pub mod universal;
 
+pub use ensemble::{EnsembleModel, KernelPolicy};
 pub use placement::Placement;
 pub use plan::{QPlan, QScratch};
 pub use qlevel::QLevel;

@@ -34,6 +34,10 @@ pub(crate) struct Job {
     /// Whether the degradation policy rerouted this job to the exact
     /// kernel.
     pub degraded: bool,
+    /// Whether a moving-target ensemble drew this job's kernel. Per-job
+    /// metadata only — it never affects grouping, since the resolved
+    /// kernel index already determines the numerics.
+    pub sampled: bool,
     /// Re-executions so far (bisection and singleton retries).
     pub retries: u32,
     pub reply: mpsc::Sender<Result<Response, ServeError>>,
@@ -185,6 +189,7 @@ mod tests {
             model: ModelId(model),
             kernel,
             degraded: false,
+            sampled: false,
             retries: 0,
             reply,
         }

@@ -17,6 +17,7 @@
 //! | Latency budget exceeded | [`Deadline`](axutil::time::Deadline) gates at admission, batch formation and execution | [`ServeError::DeadlineExceeded`] |
 //! | Overload | Bounded admission queue, capped pending set, bounded worker channel | [`ServeError::Overloaded`] with retry-after hint |
 //! | Sustained overload | Optional [`DegradePolicy`]: reroute LUT traffic to the exact kernel for a hold period | [`Response::degraded`] + kernel name |
+//! | Predictable numerics under attack | Moving-target ensembles ([`ServerBuilder::ensemble`](server::ServerBuilder::ensemble)): per-query kernel draw from a [`KernelPolicy`](axquant::KernelPolicy) | [`Response::sampled`] + kernel name |
 //! | Request panics a worker | `catch_unwind` + batch bisection + bounded backoff retries | [`ServeError::Poisoned`]; batch-mates still answered |
 //! | Unknown model / kernel | Name resolution at admission | [`ServeError::UnknownModel`] / [`ServeError::UnknownKernel`] |
 //!

@@ -5,8 +5,9 @@
 //! generators only) a [`FaultHook`] that injects worker-side failures
 //! deterministically. A [`Response`] carries the logits plus enough
 //! metadata — which kernel actually answered, whether the degradation
-//! policy swapped it, how large the batch was, how many retries the
-//! request survived — for callers and tests to audit the serving path.
+//! policy swapped it or a moving-target ensemble drew it, how large the
+//! batch was, how many retries the request survived — for callers and
+//! tests to audit the serving path.
 
 use std::time::Duration;
 
@@ -103,6 +104,11 @@ pub struct Response {
     pub kernel: String,
     /// Whether the degradation policy substituted the exact kernel.
     pub degraded: bool,
+    /// Whether the answering kernel was drawn by a hosted moving-target
+    /// ensemble (`ServerBuilder::ensemble`). Disclosed like
+    /// [`Response::degraded`]: [`Response::kernel`] names the sampled
+    /// member, so callers always know which numerics they got.
+    pub sampled: bool,
     /// How many requests shared this request's executed batch.
     pub batch_size: usize,
     /// How many times this request was re-executed (batch bisection

@@ -31,6 +31,12 @@
 //!   approximate-kernel traffic to the exact multiplier; every such
 //!   response is marked ([`Response::degraded`] plus the answering
 //!   kernel name), so callers always know which numerics they received.
+//! * **Moving-target ensembles** — a hosted ensemble
+//!   ([`ServerBuilder::ensemble`]) resolves each request to one of its
+//!   member kernels via a [`KernelPolicy`] draw keyed by a server-wide
+//!   query counter. The sampled kernel is disclosed per response
+//!   ([`Response::sampled`] plus the answering kernel name), exactly
+//!   like degradation.
 //!
 //! # Determinism contract
 //!
@@ -42,14 +48,14 @@
 //! plan/scratch setup. Pinned by `tests/prop_serve.rs`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use axmul::{ExactMul, MulKernel, MulLut};
-use axquant::QuantModel;
+use axquant::{KernelPolicy, QuantModel};
 use axtensor::Tensor;
 use axutil::sync::{bounded, BoundedSender, QueueDepth, SendError};
 use axutil::time::Deadline;
@@ -133,6 +139,14 @@ impl Default for ServerConfig {
 enum KernelKind {
     Exact,
     Lut(MulLut),
+    /// A moving-target ensemble over previously hosted kernels. Resolved
+    /// to a concrete member at submission, so it never reaches a worker.
+    Ensemble {
+        /// Kernel-table indices of the member kernels.
+        members: Vec<usize>,
+        /// Per-query sampling distribution over `members`.
+        policy: KernelPolicy,
+    },
 }
 
 #[derive(Default)]
@@ -147,6 +161,9 @@ struct Inner {
     config: ServerConfig,
     stats: StatsInner,
     degrade: Mutex<DegradeState>,
+    /// Server-wide moving-target query counter: each ensemble submission
+    /// takes the next index, which keys its [`KernelPolicy`] draw.
+    ensemble_queries: AtomicU64,
 }
 
 impl Inner {
@@ -154,6 +171,9 @@ impl Inner {
         match &self.kernels[idx].1 {
             KernelKind::Exact => &EXACT,
             KernelKind::Lut(lut) => lut,
+            KernelKind::Ensemble { .. } => {
+                unreachable!("ensemble kernels are resolved to members at submission")
+            }
         }
     }
 
@@ -251,6 +271,58 @@ impl ServerBuilder {
         self
     }
 
+    /// Hosts a moving-target ensemble under `name`: every request naming
+    /// it is answered by one of `members` (already-hosted kernel names),
+    /// drawn by `policy` keyed on a server-wide query counter. The drawn
+    /// kernel is disclosed in [`Response::kernel`] with
+    /// [`Response::sampled`] set.
+    ///
+    /// A single-member ensemble degenerates to requesting that member
+    /// directly (same kernel, same numerics) — only the `sampled` flag
+    /// differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already hosted, `members` names an unhosted
+    /// kernel or another ensemble, or the policy's arity does not match
+    /// the member count.
+    #[must_use]
+    pub fn ensemble(
+        mut self,
+        name: impl Into<String>,
+        members: &[&str],
+        policy: KernelPolicy,
+    ) -> Self {
+        let name = name.into();
+        assert!(
+            self.kernels.iter().all(|(n, _)| *n != name),
+            "kernel {name:?} is already hosted"
+        );
+        assert_eq!(
+            policy.len(),
+            members.len(),
+            "ensemble policy arity must match the member count"
+        );
+        let members: Vec<usize> = members
+            .iter()
+            .map(|m| {
+                let idx = self
+                    .kernels
+                    .iter()
+                    .position(|(n, _)| n == m)
+                    .unwrap_or_else(|| panic!("ensemble member {m:?} is not a hosted kernel"));
+                assert!(
+                    !matches!(self.kernels[idx].1, KernelKind::Ensemble { .. }),
+                    "ensemble member {m:?} is itself an ensemble"
+                );
+                idx
+            })
+            .collect();
+        self.kernels
+            .push((name, KernelKind::Ensemble { members, policy }));
+        self
+    }
+
     /// Spawns the batcher and worker threads and returns the running
     /// server.
     ///
@@ -266,6 +338,7 @@ impl ServerBuilder {
             config: config.clone(),
             stats: StatsInner::default(),
             degrade: Mutex::new(DegradeState::default()),
+            ensemble_queries: AtomicU64::new(0),
         });
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
         let depth = tx.depth_gauge();
@@ -375,6 +448,16 @@ impl Server {
             inner.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::DeadlineExceeded);
         }
+        // Moving-target resolution happens here, at submission: the
+        // ensemble draws one member per query, so workers and the batcher
+        // only ever see concrete kernels.
+        let (kernel, sampled) = match &inner.kernels[kernel].1 {
+            KernelKind::Ensemble { members, policy } => {
+                let q = inner.ensemble_queries.fetch_add(1, Ordering::Relaxed);
+                (members[policy.sample(q)], true)
+            }
+            _ => (kernel, false),
+        };
         let deadline = request.deadline;
         let (reply, rx) = mpsc::channel();
         let job = Job {
@@ -382,6 +465,7 @@ impl Server {
             model,
             kernel,
             degraded: false,
+            sampled,
             retries: 0,
             reply,
         };
@@ -609,6 +693,7 @@ fn execute_isolated(
                     logits: tensor,
                     kernel: kernel_name.clone(),
                     degraded,
+                    sampled: job.sampled,
                     batch_size: n,
                     retries: job.retries,
                 };

@@ -1,0 +1,160 @@
+//! Moving-target ensemble serving: per-query kernel draws are
+//! deterministic in submission order, disclosed per response, and a
+//! single-member ensemble answers bit-identically to requesting that
+//! member directly.
+
+use axmul::MulLut;
+use axnn::layer::{Dense, Layer};
+use axnn::model::Sequential;
+use axquant::{KernelPolicy, Placement, QuantModel};
+use axserve::{Request, Server, ServerConfig};
+use axtensor::Tensor;
+use axutil::rng::Rng;
+
+const IN_DIMS: [usize; 3] = [1, 6, 6];
+
+fn small_model(seed: u64) -> Sequential {
+    let rng = &mut Rng::seed_from_u64(seed);
+    Sequential::new(
+        "e-ffnn",
+        vec![
+            Layer::Flatten,
+            Layer::Dense(Dense::new(36, 8, rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(8, 4, rng)),
+        ],
+    )
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = Tensor::zeros(&IN_DIMS);
+            rng.fill_range_f32(t.data_mut(), 0.0, 1.0);
+            t
+        })
+        .collect()
+}
+
+fn biased_lut(name: &'static str, mask: u16) -> MulLut {
+    MulLut::from_fn(name, move |a, b| (a as u16).wrapping_mul(b as u16) & !mask)
+}
+
+fn quantized(seed: u64) -> QuantModel {
+    let model = small_model(seed);
+    let calib = images(4, seed ^ 0xCA11B);
+    QuantModel::from_float(&model, &calib, Placement::All).expect("supported topology")
+}
+
+/// Sequential submissions through a single-member ensemble answer with
+/// exactly the member's numerics — only the `sampled` flag differs from
+/// requesting the member directly.
+#[test]
+fn single_member_ensemble_is_bitwise_the_member() {
+    let imgs = images(6, 0x5E);
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let direct = Server::builder()
+        .model("m", quantized(9))
+        .kernel("a", biased_lut("a", 0x7))
+        .serve(config.clone());
+    let ensemble = Server::builder()
+        .model("m", quantized(9))
+        .kernel("a", biased_lut("a", 0x7))
+        .ensemble("mtd", &["a"], KernelPolicy::uniform(1, 42))
+        .serve(config);
+    for img in &imgs {
+        let want = direct
+            .predict(Request::new("m", "a", img.clone()))
+            .expect("direct predict");
+        let got = ensemble
+            .predict(Request::new("m", "mtd", img.clone()))
+            .expect("ensemble predict");
+        assert!(!want.sampled && !want.degraded);
+        assert!(got.sampled, "ensemble responses must disclose the draw");
+        assert!(!got.degraded);
+        assert_eq!(got.kernel, "a", "the only member must answer");
+        assert_eq!(got.logits, want.logits, "ensemble numerics must match");
+        assert_eq!(got.class, want.class);
+    }
+}
+
+/// The kernel answering query `q` is `members[policy.sample(q)]` in
+/// submission order, and every response both names it and flags it.
+#[test]
+fn draws_follow_the_policy_in_submission_order() {
+    let imgs = images(16, 0xA7);
+    let names = ["a", "b"];
+    let policy = KernelPolicy::uniform(2, 7);
+    let server = Server::builder()
+        .model("m", quantized(3))
+        .kernel("a", biased_lut("a", 0x7))
+        .kernel("b", biased_lut("b", 0x1F))
+        .ensemble("mtd", &["a", "b"], policy.clone())
+        .serve(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+    for (q, img) in imgs.iter().enumerate() {
+        let resp = server
+            .predict(Request::new("m", "mtd", img.clone()))
+            .expect("ensemble predict");
+        let want = names[policy.sample(q as u64)];
+        assert!(resp.sampled);
+        assert_eq!(
+            resp.kernel, want,
+            "query {q} must be answered by the policy's draw"
+        );
+    }
+    // Both members appear over a modest window (it is a moving target).
+    let drawn: Vec<usize> = (0..16).map(|q| policy.sample(q)).collect();
+    assert!(drawn.contains(&0) && drawn.contains(&1));
+}
+
+/// Non-ensemble requests never carry the `sampled` flag.
+#[test]
+fn direct_requests_are_not_flagged_as_sampled() {
+    let server = Server::builder()
+        .model("m", quantized(5))
+        .kernel("a", biased_lut("a", 0x7))
+        .ensemble("mtd", &["a", "exact"], KernelPolicy::uniform(2, 1))
+        .serve(ServerConfig::default());
+    let img = images(1, 1)[0].clone();
+    let exact = server
+        .predict(Request::new("m", "exact", img.clone()))
+        .unwrap();
+    let lut = server.predict(Request::new("m", "a", img)).unwrap();
+    assert!(!exact.sampled && !lut.sampled);
+}
+
+#[test]
+#[should_panic(expected = "not a hosted kernel")]
+fn unknown_member_panics_at_build() {
+    let _ = Server::builder().model("m", quantized(5)).ensemble(
+        "mtd",
+        &["missing"],
+        KernelPolicy::uniform(1, 0),
+    );
+}
+
+#[test]
+#[should_panic(expected = "itself an ensemble")]
+fn nested_ensembles_are_rejected() {
+    let _ = Server::builder()
+        .model("m", quantized(5))
+        .kernel("a", biased_lut("a", 0x7))
+        .ensemble("inner", &["a"], KernelPolicy::uniform(1, 0))
+        .ensemble("outer", &["inner"], KernelPolicy::uniform(1, 0));
+}
+
+#[test]
+#[should_panic(expected = "arity must match")]
+fn policy_arity_mismatch_panics_at_build() {
+    let _ = Server::builder()
+        .model("m", quantized(5))
+        .kernel("a", biased_lut("a", 0x7))
+        .ensemble("mtd", &["a"], KernelPolicy::uniform(2, 0));
+}

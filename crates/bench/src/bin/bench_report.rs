@@ -46,6 +46,16 @@
 //! hardening-beats-PTQ-under-the-delta verdict; craft and sweep wall
 //! times go to stderr. Writes `BENCH_universal.json`.
 //!
+//! Part 7 is the moving-target defense smoke: the quickstart FFNN is
+//! scored through [`axrobust::experiments::run_mtd_sweep`] — every fixed
+//! registry multiplier plus the randomized per-query kernel ensemble,
+//! each against a static PGD attacker and the adaptive EOT attacker that
+//! averages gradients over the disclosed kernel distribution. The whole
+//! sweep is deterministic and thread-invariant, so `BENCH_mtd.json`
+//! carries only replayable fields plus the boolean honesty verdict (the
+//! adaptive attacker is never *weaker* than the static one against the
+//! ensemble); wall time goes to stderr. Writes `BENCH_mtd.json`.
+//!
 //! Every `BENCH_*.json` this binary writes is validated by the
 //! `bench_check` regression gate in CI.
 //!
@@ -58,7 +68,8 @@
 //! (default 200) sets the inner repetitions of each timed GEMM call;
 //! `AXDNN_BENCH_UNIVERSAL_EVAL` (default 60) and
 //! `AXDNN_BENCH_UNIVERSAL_CRAFT` (default 80) size the universal
-//! sweep's evaluation and crafting samples.
+//! sweep's evaluation and crafting samples; `AXDNN_BENCH_MTD_EVAL`
+//! (default 60) sizes the moving-target evaluation sample.
 
 use std::time::Instant;
 
@@ -72,9 +83,9 @@ use axnn::zoo;
 use axnn::Sequential;
 use axquant::qtrain::{finetune, FinetuneConfig, QTrainPlan};
 use axquant::{Placement, QuantModel};
-use axrobust::experiments::{run_fault_sweep, run_universal_sweep};
+use axrobust::experiments::{run_fault_sweep, run_mtd_sweep, run_universal_sweep};
 use axrobust::faults::{sample_single_faults, FaultSweepOpts};
-use axrobust::UniversalSweepOpts;
+use axrobust::{MtdSweepOpts, UniversalSweepOpts};
 use axtensor::Tensor;
 use axutil::{parallel, rng::Rng};
 
@@ -234,7 +245,8 @@ fn main() {
     finetune_report(reps, threads);
     gemm_report(reps);
     faults_report(reps, orig_threads.clone());
-    universal_report(orig_threads);
+    universal_report(orig_threads.clone());
+    mtd_report(orig_threads);
 }
 
 /// One GEMM workload of part 5: a conv im2col product or a dense matvec
@@ -795,4 +807,101 @@ fn universal_report(orig_threads: Option<String>) {
     // The text artifact is the deterministic sweep table alone, so it is
     // byte-identical across runs too.
     bench::emit("bench_universal", &report.to_text());
+}
+
+/// Part 7: the moving-target defense smoke (quickstart FFNN config,
+/// three registry multipliers plus the uniform randomized ensemble).
+/// The static PGD-linf and adaptive EOT sets are both crafted on the
+/// float surrogate; every victim row — each fixed kernel and the
+/// per-query ensemble — is scored on the same three sets. The sweep is
+/// deterministic and thread-invariant, so every value in
+/// `BENCH_mtd.json` replays byte-identically; wall time goes to stderr
+/// only. The honesty verdict — the adaptive attacker is no *weaker*
+/// than the static one against the ensemble — is recorded as a boolean.
+fn mtd_report(orig_threads: Option<String>) {
+    // Run under the caller's thread setting, like parts 4 and 6.
+    match &orig_threads {
+        Some(v) => std::env::set_var("AXDNN_THREADS", v),
+        None => std::env::remove_var("AXDNN_THREADS"),
+    }
+    let n_eval = env_usize("AXDNN_BENCH_MTD_EVAL", 60);
+
+    // The quickstart smoke config: a briefly trained FFNN, quantized
+    // everywhere.
+    let train = SynthMnist::generate(&MnistConfig {
+        n: 400,
+        seed: 51,
+        ..Default::default()
+    });
+    let test = SynthMnist::generate(&MnistConfig {
+        n: 200,
+        seed: 52,
+        ..Default::default()
+    });
+    let mut model = zoo::ffnn(&mut Rng::seed_from_u64(50));
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            ..Default::default()
+        },
+    );
+    let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
+    let qm = QuantModel::from_float(&model, &calib, Placement::All).expect("quantize ffnn");
+
+    let mults = ["1JFF", "17KS", "L40"];
+    let opts = MtdSweepOpts {
+        n_eval,
+        samples: 2,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = run_mtd_sweep(&model, &qm, &test, &mults, &opts).expect("mtd sweep");
+    eprintln!(
+        "[mtd sweep: {:.1}s total, {} fixed rows + ensemble]",
+        start.elapsed().as_secs_f64(),
+        report.rows.len()
+    );
+
+    let adaptive_no_better_than_static =
+        report.ensemble.adaptive_adv <= report.ensemble.static_adv + 1e-6;
+    if !adaptive_no_better_than_static {
+        eprintln!("warning: adaptive EOT scored above the static attack on the ensemble");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"mtd_robustness\",\n");
+    json.push_str("  \"model\": \"ffnn-1x28\",\n");
+    json.push_str(&format!("  \"eps\": {},\n", report.eps));
+    json.push_str(&format!("  \"samples\": {},\n", report.samples));
+    json.push_str(&format!("  \"seed\": {},\n", report.seed));
+    json.push_str(&format!("  \"n_eval\": {n_eval},\n"));
+    json.push_str(&format!(
+        "  \"verdict\": {{\"adaptive_no_better_than_static\": {adaptive_no_better_than_static}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    let all_rows: Vec<&axrobust::MtdRow> = report
+        .rows
+        .iter()
+        .chain(std::iter::once(&report.ensemble))
+        .collect();
+    for (i, row) in all_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mult\": \"{}\", \"clean\": {:.4}, \"static_adv\": {:.4}, \"adaptive_adv\": {:.4}}}{}\n",
+            row.mult,
+            row.clean,
+            row.static_adv,
+            row.adaptive_adv,
+            if i + 1 < all_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_mtd.json", &json).expect("write BENCH_mtd.json");
+    eprintln!("[saved BENCH_mtd.json]");
+    // The text artifact is the deterministic grid alone, byte-identical
+    // across runs like the JSON.
+    bench::emit("bench_mtd", &report.to_text());
 }

@@ -20,8 +20,8 @@ fn main() {
         "LeNet-5 / synth-MNIST (float: {:.1}%)\n\n| part | clean acc % |\n|---|---|\n",
         100.0 * lenet.accuracy(test, n)
     ));
-    for (name, lut) in mnist_mult_columns(&reg) {
-        let acc = q.accuracy_with(test, &lut, n);
+    for (name, lut) in mnist_mult_columns(&reg).iter() {
+        let acc = q.accuracy_with(test, lut, n);
         out.push_str(&format!("| {name} | {:.1} |\n", 100.0 * acc));
     }
 
@@ -32,8 +32,8 @@ fn main() {
         "\nAlexNet / synth-CIFAR (float: {:.1}%)\n\n| part | clean acc % |\n|---|---|\n",
         100.0 * alex.accuracy(ctest, ctest.len())
     ));
-    for (name, lut) in cifar_mult_columns(&reg) {
-        let acc = cq.accuracy_with(ctest, &lut, ctest.len());
+    for (name, lut) in cifar_mult_columns(&reg).iter() {
+        let acc = cq.accuracy_with(ctest, lut, ctest.len());
         out.push_str(&format!("| {name} | {:.1} |\n", 100.0 * acc));
     }
     bench::emit("clean_accuracy", &out);

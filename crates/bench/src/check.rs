@@ -26,6 +26,13 @@
 //!   (`verdict.hardening_helps` — like the fine-tuning gate this check
 //!   is exact: the sweep is deterministic and thread-invariant, so
 //!   `BENCH_universal.json` replays byte-identically),
+//! * the moving-target defense report carries sound accuracies per
+//!   victim (each fixed multiplier plus the `"ensemble"` row) and an
+//!   honesty verdict that still holds: the adaptive EOT attacker scores
+//!   no higher against the ensemble than the static attacker
+//!   (`verdict.adaptive_no_better_than_static`, re-checked exactly over
+//!   the ensemble row — the sweep is deterministic and thread-invariant,
+//!   so `BENCH_mtd.json` replays byte-identically),
 //! * the serving report (`BENCH_serve.json`, written by `loadgen`)
 //!   conserves its request counters and each scenario still exhibits the
 //!   failure mode it deterministically injects ([`check_serve_report`]).
@@ -563,6 +570,99 @@ pub fn check_universal_report(
     errs
 }
 
+/// Validates the moving-target defense report (`BENCH_mtd.json`): every
+/// expected victim row — each fixed multiplier plus the `"ensemble"`
+/// moving target — is present with its three accuracies in `[0, 1]`,
+/// the attack configuration is sound (`eps > 0`, `samples >= 1`), and
+/// the honesty property still holds: an adaptive attacker that averages
+/// gradients over the disclosed kernel distribution must score at least
+/// as well as the static attacker against the ensemble, i.e. ensemble
+/// accuracy under EOT never exceeds ensemble accuracy under static PGD
+/// (checked both via `verdict.adaptive_no_better_than_static` and
+/// exactly over the ensemble row — the sweep is deterministic, so
+/// neither side jitters).
+pub fn check_mtd_report(
+    doc: &Json,
+    file: &str,
+    entry_key: &str,
+    expected: &[ExpectedEntry],
+) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("eps").and_then(Json::as_f64) {
+        Some(e) if e > 0.0 => {}
+        Some(e) => errs.push(format!("{file}: eps {e} is not positive")),
+        None => errs.push(format!("{file}: missing numeric \"eps\"")),
+    }
+    match doc.get("samples").and_then(Json::as_f64) {
+        Some(s) if s >= 1.0 => {}
+        Some(s) => errs.push(format!("{file}: samples {s} is empty")),
+        None => errs.push(format!("{file}: missing numeric \"samples\"")),
+    }
+    match doc
+        .get("verdict")
+        .and_then(|v| v.get("adaptive_no_better_than_static"))
+    {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => errs.push(format!(
+            "{file}: the adaptive EOT attacker scored above the static \
+             attacker on the ensemble"
+        )),
+        _ => errs.push(format!(
+            "{file}: verdict lacks boolean \"adaptive_no_better_than_static\""
+        )),
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        errs.push(format!("{file}: missing or non-array \"results\""));
+        return errs;
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    const ACC_FIELDS: [&str; 3] = ["clean", "static_adv", "adaptive_adv"];
+    for (i, entry) in results.iter().enumerate() {
+        let name = entry.get(entry_key).and_then(Json::as_str);
+        match name {
+            Some(n) => seen.push(n),
+            None => errs.push(format!("{file}: results[{i}] lacks \"{entry_key}\"")),
+        }
+        let mut accs = HashMap::new();
+        for field in ACC_FIELDS {
+            match entry.get(field).and_then(Json::as_f64) {
+                Some(a) if (0.0..=1.0).contains(&a) => {
+                    accs.insert(field, a);
+                }
+                Some(a) => errs.push(format!("{file}: results[{i}].{field} = {a} outside [0, 1]")),
+                None => errs.push(format!("{file}: results[{i}] lacks numeric \"{field}\"")),
+            }
+        }
+        // The honesty check on the ensemble row itself, independent of
+        // the recorded verdict: a report edited into inconsistency fails.
+        if name == Some("ensemble") {
+            if let (Some(&stat), Some(&adapt)) = (accs.get("static_adv"), accs.get("adaptive_adv"))
+            {
+                if adapt > stat + 1e-6 {
+                    errs.push(format!(
+                        "{file}: ensemble adaptive_adv {adapt} exceeds static_adv {stat} \
+                         — the adaptive attacker must not be weaker than the static one"
+                    ));
+                }
+            }
+        }
+    }
+    if !seen.contains(&"ensemble") {
+        errs.push(format!(
+            "{file}: results lack the \"ensemble\" moving-target row"
+        ));
+    }
+    for want in expected {
+        if !seen.contains(&want.name) {
+            errs.push(format!(
+                "{file}: expected {entry_key} entry \"{}\" missing",
+                want.name
+            ));
+        }
+    }
+    errs
+}
+
 /// Validates the serving loadgen report (`BENCH_serve.json`): every
 /// expected scenario row is present with sound counters and latency
 /// quantiles, counter conservation holds (`completed + shed + deadline +
@@ -690,6 +790,8 @@ pub enum ReportKind {
     FaultCampaign,
     /// Universal-robustness report ([`check_universal_report`]).
     Universal,
+    /// Moving-target defense report ([`check_mtd_report`]).
+    Mtd,
     /// Serving loadgen report ([`check_serve_report`]).
     Serve,
 }
@@ -726,6 +828,7 @@ pub fn validate_report(spec: &ReportSpec, doc: &Json, min_speedup: f64) -> Vec<S
         ReportKind::Universal => {
             check_universal_report(doc, spec.file, spec.entry_key, &spec.expected)
         }
+        ReportKind::Mtd => check_mtd_report(doc, spec.file, spec.entry_key, &spec.expected),
         ReportKind::Serve => check_serve_report(doc, spec.file, spec.entry_key, &spec.expected),
     }
 }
@@ -808,6 +911,17 @@ pub fn expected_reports() -> Vec<ReportSpec> {
                 ExpectedEntry::new("1JFF"),
                 ExpectedEntry::new("17KS"),
                 ExpectedEntry::new("L40"),
+            ],
+        },
+        ReportSpec {
+            file: "BENCH_mtd.json",
+            entry_key: "mult",
+            kind: ReportKind::Mtd,
+            expected: vec![
+                ExpectedEntry::new("1JFF"),
+                ExpectedEntry::new("17KS"),
+                ExpectedEntry::new("L40"),
+                ExpectedEntry::new("ensemble"),
             ],
         },
         ReportSpec {
@@ -1103,6 +1217,114 @@ mod tests {
     #[test]
     fn default_floor_documented() {
         assert_eq!(DEFAULT_MIN_SPEEDUP, 0.8);
+    }
+
+    fn healthy_mtd_doc() -> Json {
+        Json::parse(
+            r#"{
+  "bench": "mtd_robustness",
+  "eps": 0.1,
+  "samples": 2,
+  "seed": 893,
+  "verdict": {"adaptive_no_better_than_static": true},
+  "results": [
+    {"mult": "1JFF", "clean": 0.9, "static_adv": 0.3, "adaptive_adv": 0.3},
+    {"mult": "ensemble", "clean": 0.88, "static_adv": 0.45, "adaptive_adv": 0.35}
+  ]
+}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mtd_check_passes_a_healthy_report() {
+        let errs = check_mtd_report(
+            &healthy_mtd_doc(),
+            "m",
+            "mult",
+            &want(&["1JFF", "ensemble"]),
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn mtd_check_flags_broken_reports() {
+        // A failed honesty verdict, an out-of-range accuracy and a
+        // missing expected multiplier.
+        let doc = Json::parse(
+            r#"{"eps": 0.1, "samples": 2,
+                "verdict": {"adaptive_no_better_than_static": false},
+                "results": [
+                  {"mult": "ensemble", "clean": 1.4, "static_adv": 0.4,
+                   "adaptive_adv": 0.3}
+                ]}"#,
+        )
+        .unwrap();
+        let errs = check_mtd_report(&doc, "m", "mult", &[ExpectedEntry::new("1JFF")]);
+        assert!(
+            errs.iter().any(|e| e.contains("scored above the static")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("outside [0, 1]")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("1JFF")), "{errs:?}");
+
+        // The row-level honesty check is independent of the verdict: a
+        // report whose verdict says "true" but whose ensemble row says
+        // otherwise is inconsistent and fails.
+        let doc = Json::parse(
+            r#"{"eps": 0.1, "samples": 2,
+                "verdict": {"adaptive_no_better_than_static": true},
+                "results": [
+                  {"mult": "ensemble", "clean": 0.9, "static_adv": 0.3,
+                   "adaptive_adv": 0.6}
+                ]}"#,
+        )
+        .unwrap();
+        let errs = check_mtd_report(&doc, "m", "mult", &[]);
+        assert!(
+            errs.iter().any(|e| e.contains("exceeds static_adv")),
+            "{errs:?}"
+        );
+
+        // A report without the ensemble row is not a moving-target
+        // report at all.
+        let doc = Json::parse(
+            r#"{"eps": 0.1, "samples": 2,
+                "verdict": {"adaptive_no_better_than_static": true},
+                "results": [
+                  {"mult": "1JFF", "clean": 0.9, "static_adv": 0.3,
+                   "adaptive_adv": 0.3}
+                ]}"#,
+        )
+        .unwrap();
+        let errs = check_mtd_report(&doc, "m", "mult", &[]);
+        assert!(errs.iter().any(|e| e.contains("\"ensemble\"")), "{errs:?}");
+
+        // Structurally missing pieces: eps, samples, verdict and the
+        // results array (which also covers the missing ensemble row).
+        let doc = Json::parse(r#"{"bench": "mtd_robustness"}"#).unwrap();
+        let errs = check_mtd_report(&doc, "m", "mult", &[]);
+        assert_eq!(errs.len(), 4, "{errs:?}");
+    }
+
+    #[test]
+    fn mtd_dispatch_by_kind() {
+        let spec = ReportSpec {
+            file: "m",
+            entry_key: "mult",
+            kind: ReportKind::Mtd,
+            expected: want(&["1JFF", "ensemble"]),
+        };
+        assert!(validate_report(&spec, &healthy_mtd_doc(), 0.8).is_empty());
+        // The universal checker rejects the same doc: the dispatch is real.
+        let uni = ReportSpec {
+            kind: ReportKind::Universal,
+            ..spec
+        };
+        assert!(!validate_report(&uni, &healthy_mtd_doc(), 0.8).is_empty());
     }
 
     fn healthy_serve_doc() -> Json {

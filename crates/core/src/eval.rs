@@ -26,7 +26,7 @@
 
 use axattack::suite::AttackId;
 use axdata::Dataset;
-use axmul::{MulKernel, MulLut};
+use axmul::{MulColumns, MulKernel, MulLut};
 use axnn::Sequential;
 use axquant::{QPlan, QuantModel};
 use axtensor::Tensor;
@@ -140,21 +140,22 @@ fn column_accuracy<K: MulKernel + ?Sized>(
 
 /// Runs the full grid for one attack: every epsilon × every multiplier.
 ///
-/// `mults` pairs display names with inference LUTs; by paper convention
-/// the first entry is the accurate part (M1). Each epsilon's crafted set
-/// is evaluated against all multiplier columns in one batched
-/// multi-kernel pass, and the victim's plan is compiled once for the
-/// whole epsilon sweep (see the [module docs](self)).
+/// `mults` is the named kernel-column set; [`MulColumns`] enforces the
+/// paper convention that the first entry is the accurate part (M1) at
+/// construction, so the grid never sees an empty or baseline-less
+/// column list. Each epsilon's crafted set is evaluated against all
+/// multiplier columns in one batched multi-kernel pass, and the
+/// victim's plan is compiled once for the whole epsilon sweep (see the
+/// [module docs](self)).
 pub fn robustness_grid(
     source: &Sequential,
     victim: &QuantModel,
-    mults: &[(String, MulLut)],
+    mults: &MulColumns,
     attack_id: AttackId,
     data: &Dataset,
     opts: &EvalOpts,
 ) -> RobustnessGrid {
-    assert!(!mults.is_empty(), "need at least one multiplier column");
-    let kernels: Vec<&MulLut> = mults.iter().map(|(_, lut)| lut).collect();
+    let kernels: Vec<&MulLut> = mults.payloads();
     let mut acc = Vec::with_capacity(opts.eps_grid.len());
     // One compiled plan for the whole sweep; lazily keyed off the first
     // non-empty crafted set so an empty dataset never compiles anything.
@@ -172,7 +173,7 @@ pub fn robustness_grid(
         attack_id.name(),
         data.name(),
         opts.eps_grid.clone(),
-        mults.iter().map(|(n, _)| n.clone()).collect(),
+        mults.names(),
         acc,
     )
 }
@@ -217,11 +218,7 @@ mod tests {
     #[test]
     fn grid_shape_and_eps0_is_clean_accuracy() {
         let (model, q, test) = quick_setup();
-        let reg = Registry::standard();
-        let mults = vec![
-            ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
-            ("L40".to_string(), reg.build_lut("L40").unwrap()),
-        ];
+        let mults = MulColumns::from_registry(&Registry::standard(), &["1JFF", "L40"]);
         let opts = EvalOpts {
             eps_grid: vec![0.0, 0.2],
             n_examples: 40,
@@ -232,7 +229,7 @@ mod tests {
         assert_eq!(grid.mults().len(), 2);
         // eps = 0: the "attack" is the identity, so the first row must be
         // the victims' clean accuracy.
-        let clean_exact = q.accuracy_with(&test, &mults[0].1, 40);
+        let clean_exact = q.accuracy_with(&test, mults.payload(0), 40);
         assert!((grid.accuracy(0, 0) - clean_exact).abs() < 1e-6);
         // A strong linf attack must strictly reduce accuracy of the
         // accurate column (the model is trained, clean acc is high).

@@ -1,13 +1,17 @@
-//! Per-figure experiment drivers.
+//! Experiment drivers behind one data-driven entry point.
 //!
-//! Each function reproduces one figure or table of the paper, taking the
-//! trained models (see [`crate::store`]) and a [`FigureOpts`] sampling
-//! configuration. The `bench` crate's binaries call these and print the
-//! results; `EXPERIMENTS.md` records representative runs.
+//! Every figure or table of the paper is described by an
+//! [`ExperimentSpec`] — which models, which multiplier columns
+//! ([`MultSet`]), which attacks, which [`Task`] — and executed by
+//! [`run`]. The historical `run_fig4`..`run_fig8` / [`run_table2`]
+//! names survive as thin wrappers that build the matching spec, so
+//! existing callers (quickstart, `bench_report`) compile unchanged.
+//! The `bench` crate's binaries call these and print the results;
+//! `EXPERIMENTS.md` records representative runs.
 
 use axattack::suite::AttackId;
 use axdata::Dataset;
-use axmul::{MulLut, Registry};
+use axmul::{MulColumns, NetColumns, Registry};
 use axnn::Sequential;
 use axquant::{Placement, QuantModel};
 use axtensor::Tensor;
@@ -16,6 +20,7 @@ use axutil::AxError;
 use crate::eval::{paper_eps_grid, robustness_grid, EvalOpts};
 use crate::faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 use crate::grid::RobustnessGrid;
+use crate::mtd::{mtd_robustness_sweep, MtdReport, MtdSweepOpts};
 use crate::quantstudy::{quantization_study, QuantStudy};
 use crate::transfer::{transferability, TransferSource, TransferTable, TransferVictim};
 use crate::universal::{universal_robustness_sweep, UniversalReport, UniversalSweepOpts};
@@ -72,25 +77,200 @@ pub fn quantize_victim(
 }
 
 /// The M1..M9 multiplier columns of Figs 4-6 (LeNet-5 / MNIST).
-pub fn mnist_mult_columns(reg: &Registry) -> Vec<(String, MulLut)> {
-    Registry::lenet_set()
-        .iter()
-        .map(|name| ((*name).to_owned(), reg.build_lut(name).expect("registered")))
-        .collect()
+pub fn mnist_mult_columns(reg: &Registry) -> MulColumns {
+    MulColumns::from_registry(reg, &Registry::lenet_set())
 }
 
 /// The M1..M8 multiplier columns of Fig 7 (AlexNet / CIFAR-10).
-pub fn cifar_mult_columns(reg: &Registry) -> Vec<(String, MulLut)> {
-    Registry::alexnet_set()
-        .iter()
-        .map(|name| ((*name).to_owned(), reg.build_lut(name).expect("registered")))
-        .collect()
+pub fn cifar_mult_columns(reg: &Registry) -> MulColumns {
+    MulColumns::from_registry(reg, &Registry::alexnet_set())
+}
+
+/// Which multiplier columns an [`ExperimentSpec`] evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultSet {
+    /// The paper's M1..M9 LeNet/MNIST set ([`mnist_mult_columns`]).
+    Mnist,
+    /// The paper's M1..M8 AlexNet/CIFAR set ([`cifar_mult_columns`]).
+    Cifar,
+    /// Explicit registry names; the first is the accurate baseline.
+    Named(Vec<String>),
+}
+
+impl MultSet {
+    /// Resolves the set into named LUT columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name in [`MultSet::Named`] is not registered or the
+    /// list is empty.
+    pub fn columns(&self, reg: &Registry) -> MulColumns {
+        match self {
+            MultSet::Mnist => mnist_mult_columns(reg),
+            MultSet::Cifar => cifar_mult_columns(reg),
+            MultSet::Named(names) => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                MulColumns::from_registry(reg, &refs)
+            }
+        }
+    }
+}
+
+/// The models and data an [`ExperimentSpec`] runs on.
+#[derive(Debug)]
+pub enum ModelInputs<'a> {
+    /// One float source, its quantized victim and an evaluation set —
+    /// the shape of every heatmap figure and the quantization study.
+    Single {
+        /// The trained accurate float model (attack surrogate).
+        source: &'a Sequential,
+        /// The quantized victim evaluated under each multiplier column.
+        victim: &'a QuantModel,
+        /// The evaluation dataset.
+        data: &'a Dataset,
+    },
+    /// The four-model transferability setting of Table II.
+    Transfer(&'a Table2Models<'a>),
+}
+
+/// What an [`ExperimentSpec`] computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Task {
+    /// One [`RobustnessGrid`] per attack (the heatmap figures).
+    Heatmaps,
+    /// Quantized vs. non-quantized accurate model (Fig 8).
+    QuantStudy,
+    /// The Table II transferability study at the given budget. The
+    /// spec's [`MultSet`] must resolve to at least two columns:
+    /// column 0 is the MNIST victims' LUT, column 1 the CIFAR one.
+    Transfer {
+        /// Perturbation budget of the crafted sets.
+        eps: f32,
+    },
+}
+
+/// A declarative experiment: models × multiplier columns × attacks ×
+/// task. Built by the `run_fig*` wrappers, or by hand for custom
+/// sweeps.
+#[derive(Debug)]
+pub struct ExperimentSpec<'a> {
+    /// Display name (figure/table label).
+    pub name: &'static str,
+    /// The models and data to run on.
+    pub model: ModelInputs<'a>,
+    /// The multiplier columns to evaluate.
+    pub mult_set: MultSet,
+    /// The attacks to craft, in panel order.
+    pub attacks: Vec<AttackId>,
+    /// What to compute.
+    pub task: Task,
+}
+
+/// What [`run`] produced — one variant per [`Task`].
+#[derive(Debug)]
+pub enum ExperimentResult {
+    /// One grid per attack of the spec.
+    Grids(Vec<RobustnessGrid>),
+    /// The quantization study.
+    Study(QuantStudy),
+    /// `(mnist_table, cifar_table)`.
+    Transfer(Box<(TransferTable, TransferTable)>),
+}
+
+impl ExperimentResult {
+    /// The heatmap grids, if this was a [`Task::Heatmaps`] run.
+    pub fn into_grids(self) -> Option<Vec<RobustnessGrid>> {
+        match self {
+            ExperimentResult::Grids(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The quantization study, if this was a [`Task::QuantStudy`] run.
+    pub fn into_study(self) -> Option<QuantStudy> {
+        match self {
+            ExperimentResult::Study(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The transfer tables, if this was a [`Task::Transfer`] run.
+    pub fn into_transfer(self) -> Option<(TransferTable, TransferTable)> {
+        match self {
+            ExperimentResult::Transfer(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Executes a declarative [`ExperimentSpec`].
+///
+/// # Errors
+///
+/// Returns [`AxError::Config`] when the task and model inputs do not
+/// fit together ([`Task::Transfer`] needs [`ModelInputs::Transfer`] and
+/// at least two multiplier columns; the other tasks need
+/// [`ModelInputs::Single`]) or when a stage propagates a quantization
+/// failure.
+pub fn run(spec: &ExperimentSpec<'_>, opts: &FigureOpts) -> Result<ExperimentResult, AxError> {
+    let reg = Registry::standard();
+    match (&spec.task, &spec.model) {
+        (
+            Task::Heatmaps,
+            ModelInputs::Single {
+                source,
+                victim,
+                data,
+            },
+        ) => Ok(ExperimentResult::Grids(heatmaps(
+            source,
+            victim,
+            &spec.mult_set.columns(&reg),
+            &spec.attacks,
+            data,
+            opts,
+        ))),
+        (
+            Task::QuantStudy,
+            ModelInputs::Single {
+                source,
+                victim,
+                data,
+            },
+        ) => Ok(ExperimentResult::Study(quantization_study(
+            source,
+            victim,
+            &spec.attacks,
+            data,
+            &opts.eps_grid,
+            opts.n_eval,
+            opts.seed,
+        ))),
+        (Task::Transfer { eps }, ModelInputs::Transfer(models)) => {
+            let columns = spec.mult_set.columns(&reg);
+            if columns.len() < 2 {
+                return Err(AxError::config(
+                    "transfer experiments need a MNIST and a CIFAR victim column",
+                ));
+            }
+            let attack = *spec
+                .attacks
+                .first()
+                .ok_or_else(|| AxError::config("transfer experiments need the crafting attack"))?;
+            Ok(ExperimentResult::Transfer(Box::new(transfer_tables(
+                models, &columns, attack, *eps, opts,
+            )?)))
+        }
+        _ => Err(AxError::config(
+            "experiment task does not fit the provided model inputs",
+        )),
+    }
 }
 
 fn heatmaps(
     source: &Sequential,
     victim: &QuantModel,
-    mults: &[(String, MulLut)],
+    mults: &MulColumns,
     attacks: &[AttackId],
     data: &Dataset,
     opts: &FigureOpts,
@@ -101,6 +281,27 @@ fn heatmaps(
         .collect()
 }
 
+/// Builds the spec behind one LeNet-5/MNIST heatmap figure.
+fn mnist_heatmap_spec<'a>(
+    name: &'static str,
+    lenet: &'a Sequential,
+    victim: &'a QuantModel,
+    data: &'a Dataset,
+    attacks: Vec<AttackId>,
+) -> ExperimentSpec<'a> {
+    ExperimentSpec {
+        name,
+        model: ModelInputs::Single {
+            source: lenet,
+            victim,
+            data,
+        },
+        mult_set: MultSet::Mnist,
+        attacks,
+        task: Task::Heatmaps,
+    }
+}
+
 /// Fig 4: LeNet-5/MNIST under (a) BIM-linf (b) BIM-l2 (c) FGM-linf
 /// (d) FGM-l2.
 pub fn run_fig4(
@@ -109,20 +310,22 @@ pub fn run_fig4(
     data: &Dataset,
     opts: &FigureOpts,
 ) -> Vec<RobustnessGrid> {
-    let reg = Registry::standard();
-    heatmaps(
+    let spec = mnist_heatmap_spec(
+        "fig4",
         lenet,
         victim,
-        &mnist_mult_columns(&reg),
-        &[
+        data,
+        vec![
             AttackId::BimLinf,
             AttackId::BimL2,
             AttackId::FgmLinf,
             AttackId::FgmL2,
         ],
-        data,
-        opts,
-    )
+    );
+    run(&spec, opts)
+        .expect("heatmap specs are well-formed")
+        .into_grids()
+        .expect("heatmap task returns grids")
 }
 
 /// Fig 5: LeNet-5/MNIST under (a) PGD-l2 (b) PGD-linf (c) RAU-l2
@@ -133,20 +336,22 @@ pub fn run_fig5(
     data: &Dataset,
     opts: &FigureOpts,
 ) -> Vec<RobustnessGrid> {
-    let reg = Registry::standard();
-    heatmaps(
+    let spec = mnist_heatmap_spec(
+        "fig5",
         lenet,
         victim,
-        &mnist_mult_columns(&reg),
-        &[
+        data,
+        vec![
             AttackId::PgdL2,
             AttackId::PgdLinf,
             AttackId::RauL2,
             AttackId::RauLinf,
         ],
-        data,
-        opts,
-    )
+    );
+    run(&spec, opts)
+        .expect("heatmap specs are well-formed")
+        .into_grids()
+        .expect("heatmap task returns grids")
 }
 
 /// Fig 6: LeNet-5/MNIST under (a) CR-l2 (b) RAG-l2.
@@ -156,15 +361,17 @@ pub fn run_fig6(
     data: &Dataset,
     opts: &FigureOpts,
 ) -> Vec<RobustnessGrid> {
-    let reg = Registry::standard();
-    heatmaps(
+    let spec = mnist_heatmap_spec(
+        "fig6",
         lenet,
         victim,
-        &mnist_mult_columns(&reg),
-        &[AttackId::CrL2, AttackId::RagL2],
         data,
-        opts,
-    )
+        vec![AttackId::CrL2, AttackId::RagL2],
+    );
+    run(&spec, opts)
+        .expect("heatmap specs are well-formed")
+        .into_grids()
+        .expect("heatmap task returns grids")
 }
 
 /// Fig 7: AlexNet/CIFAR-10 under (a) CR-l2 (b) RAG-l2 (c) RAU-l2
@@ -175,20 +382,26 @@ pub fn run_fig7(
     data: &Dataset,
     opts: &FigureOpts,
 ) -> Vec<RobustnessGrid> {
-    let reg = Registry::standard();
-    heatmaps(
-        alexnet,
-        victim,
-        &cifar_mult_columns(&reg),
-        &[
+    let spec = ExperimentSpec {
+        name: "fig7",
+        model: ModelInputs::Single {
+            source: alexnet,
+            victim,
+            data,
+        },
+        mult_set: MultSet::Cifar,
+        attacks: vec![
             AttackId::CrL2,
             AttackId::RagL2,
             AttackId::RauL2,
             AttackId::RauLinf,
         ],
-        data,
-        opts,
-    )
+        task: Task::Heatmaps,
+    };
+    run(&spec, opts)
+        .expect("heatmap specs are well-formed")
+        .into_grids()
+        .expect("heatmap task returns grids")
 }
 
 /// Robustness under stuck-at faults: a sampled single-fault campaign per
@@ -206,16 +419,7 @@ pub fn run_fault_sweep(
     names: &[&str],
     opts: &FaultSweepOpts,
 ) -> Result<FaultReport, AxError> {
-    let reg = Registry::standard();
-    let mults: Vec<(String, axcirc::Netlist)> = names
-        .iter()
-        .map(|name| {
-            (
-                (*name).to_owned(),
-                reg.find(name).expect("registered").build_netlist(),
-            )
-        })
-        .collect();
+    let mults = NetColumns::from_registry(&Registry::standard(), names);
     fault_robustness_sweep(source, victim, &mults, data, opts)
 }
 
@@ -236,12 +440,29 @@ pub fn run_universal_sweep(
     names: &[&str],
     opts: &UniversalSweepOpts,
 ) -> Result<(UniversalReport, Tensor), AxError> {
-    let reg = Registry::standard();
-    let mults: Vec<(String, MulLut)> = names
-        .iter()
-        .map(|name| ((*name).to_owned(), reg.build_lut(name).expect("registered")))
-        .collect();
+    let mults = MulColumns::from_registry(&Registry::standard(), names);
     universal_robustness_sweep(model, &mults, train, test, opts)
+}
+
+/// Moving-target defense per named registry multiplier: the full
+/// `{fixed kernel, randomized ensemble} × {clean, static PGD, adaptive
+/// EOT}` grid of [`mtd_robustness_sweep`] (no paper figure — the
+/// extension motivated in the ROADMAP).
+///
+/// # Errors
+///
+/// Propagates configuration errors (empty evaluation sample) from
+/// [`mtd_robustness_sweep`]; panics if a name is not registered or the
+/// name list is empty.
+pub fn run_mtd_sweep(
+    source: &Sequential,
+    victim: &QuantModel,
+    data: &Dataset,
+    names: &[&str],
+    opts: &MtdSweepOpts,
+) -> Result<MtdReport, AxError> {
+    let columns = MulColumns::from_registry(&Registry::standard(), names);
+    mtd_robustness_sweep(source, victim, &columns, data, opts)
 }
 
 /// Fig 8: quantized vs non-quantized accurate LeNet-5, all ten attacks.
@@ -251,15 +472,21 @@ pub fn run_fig8(
     data: &Dataset,
     opts: &FigureOpts,
 ) -> QuantStudy {
-    quantization_study(
-        lenet,
-        victim,
-        &AttackId::ALL,
-        data,
-        &opts.eps_grid,
-        opts.n_eval,
-        opts.seed,
-    )
+    let spec = ExperimentSpec {
+        name: "fig8",
+        model: ModelInputs::Single {
+            source: lenet,
+            victim,
+            data,
+        },
+        mult_set: MultSet::Mnist,
+        attacks: AttackId::ALL.to_vec(),
+        task: Task::QuantStudy,
+    };
+    run(&spec, opts)
+        .expect("quant-study specs are well-formed")
+        .into_study()
+        .expect("quant-study task returns a study")
 }
 
 /// Fig 1: the motivational case study. Four panels, each comparing the
@@ -283,7 +510,7 @@ pub fn run_fig1(
     let q_ffnn = quantize_victim(ffnn, data, Placement::All)?;
     let q_lenet = quantize_victim(lenet, data, Placement::ConvOnly)?;
     let (acc_s, ax_s) = Registry::fig1_signed_pair();
-    let ffnn_mults = vec![
+    let ffnn_mults = MulColumns::from_pairs(vec![
         (
             format!("AccSign({acc_s})"),
             reg.build_lut(acc_s).expect("registered"),
@@ -292,9 +519,9 @@ pub fn run_fig1(
             format!("Ax{ax_s}"),
             reg.build_lut(ax_s).expect("registered"),
         ),
-    ];
+    ]);
     let (acc_u, ax_u) = Registry::fig1_unsigned_pair();
-    let lenet_mults = vec![
+    let lenet_mults = MulColumns::from_pairs(vec![
         (
             format!("AccUnSign({acc_u})"),
             reg.build_lut(acc_u).expect("registered"),
@@ -303,7 +530,7 @@ pub fn run_fig1(
             format!("Ax{ax_u}"),
             reg.build_lut(ax_u).expect("registered"),
         ),
-    ];
+    ]);
     let eval = opts.eval_opts();
     Ok(vec![
         robustness_grid(ffnn, &q_ffnn, &ffnn_mults, AttackId::PgdLinf, data, &eval),
@@ -351,16 +578,35 @@ pub fn run_table2(
     models: &Table2Models<'_>,
     opts: &FigureOpts,
 ) -> Result<(TransferTable, TransferTable), AxError> {
-    let reg = Registry::standard();
-    let mnist_lut = reg.build_lut("17KS").expect("registered");
-    let cifar_lut = reg.build_lut("QJD").expect("registered");
+    let spec = ExperimentSpec {
+        name: "table2",
+        model: ModelInputs::Transfer(models),
+        mult_set: MultSet::Named(vec!["17KS".to_string(), "QJD".to_string()]),
+        attacks: vec![AttackId::BimLinf],
+        task: Task::Transfer { eps: 0.05 },
+    };
+    Ok(run(&spec, opts)?
+        .into_transfer()
+        .expect("transfer task returns tables"))
+}
+
+/// The Table II engine: column 0 of `columns` is the MNIST victims'
+/// LUT, column 1 the CIFAR one.
+fn transfer_tables(
+    models: &Table2Models<'_>,
+    columns: &MulColumns,
+    attack: AttackId,
+    eps: f32,
+    opts: &FigureOpts,
+) -> Result<(TransferTable, TransferTable), AxError> {
+    let mnist_lut = columns.payload(0);
+    let cifar_lut = columns.payload(1);
 
     let q_l5_m = quantize_victim(models.l5_mnist, models.mnist32_test, Placement::ConvOnly)?;
     let q_alx_m = quantize_victim(models.alx_mnist, models.mnist32_test, Placement::ConvOnly)?;
     let q_l5_c = quantize_victim(models.l5_cifar, models.cifar_test, Placement::ConvOnly)?;
     let q_alx_c = quantize_victim(models.alx_cifar, models.cifar_test, Placement::ConvOnly)?;
 
-    let eps = 0.05;
     let mnist = transferability(
         &[
             TransferSource {
@@ -376,17 +622,17 @@ pub fn run_table2(
             TransferVictim {
                 name: "AxL5".into(),
                 qmodel: &q_l5_m,
-                mult: &mnist_lut,
+                mult: mnist_lut,
                 data: models.mnist32_test,
             },
             TransferVictim {
                 name: "AxAlx".into(),
                 qmodel: &q_alx_m,
-                mult: &mnist_lut,
+                mult: mnist_lut,
                 data: models.mnist32_test,
             },
         ],
-        AttackId::BimLinf,
+        attack,
         eps,
         opts.n_eval,
         opts.seed,
@@ -406,17 +652,17 @@ pub fn run_table2(
             TransferVictim {
                 name: "AxL5".into(),
                 qmodel: &q_l5_c,
-                mult: &cifar_lut,
+                mult: cifar_lut,
                 data: models.cifar_test,
             },
             TransferVictim {
                 name: "AxAlx".into(),
                 qmodel: &q_alx_c,
-                mult: &cifar_lut,
+                mult: cifar_lut,
                 data: models.cifar_test,
             },
         ],
-        AttackId::BimLinf,
+        attack,
         eps,
         opts.n_eval,
         opts.seed,
@@ -451,7 +697,82 @@ mod tests {
         let reg = Registry::standard();
         assert_eq!(mnist_mult_columns(&reg).len(), 9);
         assert_eq!(cifar_mult_columns(&reg).len(), 8);
-        assert_eq!(mnist_mult_columns(&reg)[0].0, "1JFF");
+        assert_eq!(mnist_mult_columns(&reg).name(0), "1JFF");
+        assert_eq!(MultSet::Mnist.columns(&reg), mnist_mult_columns(&reg));
+        assert_eq!(
+            MultSet::Named(vec!["1JFF".to_string(), "L40".to_string()])
+                .columns(&reg)
+                .names(),
+            vec!["1JFF".to_string(), "L40".to_string()]
+        );
+    }
+
+    #[test]
+    fn mismatched_spec_combinations_are_config_errors() {
+        let train = SynthMnist::generate(&MnistConfig {
+            n: 60,
+            seed: 66,
+            ..Default::default()
+        });
+        let ffnn = zoo::ffnn(&mut Rng::seed_from_u64(7));
+        let q = quantize_victim(&ffnn, &train, Placement::All).unwrap();
+        // A transfer task on single-model inputs cannot run.
+        let spec = ExperimentSpec {
+            name: "bad",
+            model: ModelInputs::Single {
+                source: &ffnn,
+                victim: &q,
+                data: &train,
+            },
+            mult_set: MultSet::Mnist,
+            attacks: vec![AttackId::BimLinf],
+            task: Task::Transfer { eps: 0.05 },
+        };
+        assert!(run(&spec, &FigureOpts::quick()).is_err());
+    }
+
+    #[test]
+    fn run_matches_the_direct_heatmap_path() {
+        let train = SynthMnist::generate(&MnistConfig {
+            n: 200,
+            seed: 67,
+            ..Default::default()
+        });
+        let ffnn = quick_ffnn(&train);
+        let q = quantize_victim(&ffnn, &train, Placement::All).unwrap();
+        let opts = FigureOpts {
+            n_eval: 12,
+            seed: 8,
+            eps_grid: vec![0.0, 0.1],
+        };
+        let spec = ExperimentSpec {
+            name: "custom",
+            model: ModelInputs::Single {
+                source: &ffnn,
+                victim: &q,
+                data: &train,
+            },
+            mult_set: MultSet::Named(vec!["1JFF".to_string(), "L40".to_string()]),
+            attacks: vec![AttackId::FgmLinf],
+            task: Task::Heatmaps,
+        };
+        let grids = run(&spec, &opts).unwrap().into_grids().unwrap();
+        let reg = Registry::standard();
+        let cols = MulColumns::from_registry(&reg, &["1JFF", "L40"]);
+        let direct = robustness_grid(
+            &ffnn,
+            &q,
+            &cols,
+            AttackId::FgmLinf,
+            &train,
+            &EvalOpts {
+                eps_grid: opts.eps_grid.clone(),
+                n_examples: opts.n_eval,
+                seed: opts.seed,
+            },
+        );
+        assert_eq!(grids.len(), 1);
+        assert_eq!(grids[0], direct, "the spec path is a pure re-plumbing");
     }
 
     #[test]

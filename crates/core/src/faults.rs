@@ -19,7 +19,7 @@ use axattack::suite::AttackId;
 use axcirc::faults::{Fault, FaultSet};
 use axcirc::Netlist;
 use axdata::Dataset;
-use axmul::FaultedMul;
+use axmul::{FaultedMul, NetColumns};
 use axnn::Sequential;
 use axquant::QuantModel;
 use axutil::rng::Rng;
@@ -209,22 +209,19 @@ pub fn sample_single_faults(
 /// Per multiplier the fault-free baseline plus all `n_faults` defective
 /// LUTs are evaluated as columns of one batched multi-kernel pass on the
 /// same crafted clean (`eps = 0`) and adversarial sets, so the deltas
-/// are attributable to the faults alone.
+/// are attributable to the faults alone. `mults` is a [`NetColumns`]
+/// set, non-empty by construction.
 ///
 /// # Errors
 ///
-/// Returns a configuration error for an empty multiplier list or an
-/// empty fault campaign.
+/// Returns a configuration error for an empty fault campaign.
 pub fn fault_robustness_sweep(
     source: &Sequential,
     victim: &QuantModel,
-    mults: &[(String, Netlist)],
+    mults: &NetColumns,
     data: &Dataset,
     opts: &FaultSweepOpts,
 ) -> Result<FaultReport, AxError> {
-    if mults.is_empty() {
-        return Err(AxError::config("need at least one multiplier column"));
-    }
     if opts.n_faults == 0 {
         return Err(AxError::config(
             "fault campaign must inject at least one fault",
@@ -246,7 +243,7 @@ pub fn fault_robustness_sweep(
         let clean_acc = multi_kernel_adversarial_accuracy(victim, &refs, &clean_set);
         let adv_acc = multi_kernel_adversarial_accuracy(victim, &refs, &adv_set);
         rows.push(FaultRow {
-            mult: name.clone(),
+            mult: name.to_string(),
             sites: nl.fault_sites().len(),
             clean: clean_acc[0],
             adv: adv_acc[0],
@@ -300,17 +297,8 @@ mod tests {
         (model, q, test)
     }
 
-    fn netlists(names: &[&str]) -> Vec<(String, Netlist)> {
-        let reg = Registry::standard();
-        names
-            .iter()
-            .map(|n| {
-                (
-                    n.to_string(),
-                    reg.find(n).expect("registered").build_netlist(),
-                )
-            })
-            .collect()
+    fn netlists(names: &[&str]) -> NetColumns {
+        NetColumns::from_registry(&Registry::standard(), names)
     }
 
     fn small_opts() -> FaultSweepOpts {
@@ -370,13 +358,20 @@ mod tests {
     #[test]
     fn config_errors_are_reported() {
         let (model, q, test) = quick_setup();
-        let err = fault_robustness_sweep(&model, &q, &[], &test, &small_opts());
-        assert!(err.is_err());
         let mults = netlists(&["1JFF"]);
         let opts = FaultSweepOpts {
             n_faults: 0,
             ..small_opts()
         };
         assert!(fault_robustness_sweep(&model, &q, &mults, &test, &opts).is_err());
+    }
+
+    /// The old "empty multiplier list" config error moved to
+    /// construction: [`NetColumns`] cannot be built without an M1
+    /// baseline column.
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_column_set_panics_at_construction() {
+        let _ = NetColumns::from_pairs(Vec::new());
     }
 }

@@ -25,6 +25,9 @@
 //!   crafted on the float surrogate, every victim multiplier evaluated
 //!   clean vs. perturbed, before and after universal adversarial
 //!   training.
+//! * [`mtd`] — moving-target defense: every fixed kernel column plus the
+//!   randomized per-query ensemble, scored clean vs. static PGD vs. the
+//!   adaptive EOT attacker over the disclosed kernel distribution.
 //! * [`quantstudy`] — the quantization study (Fig 8).
 //! * [`experiments`] — per-figure drivers with the paper's epsilon grid
 //!   and multiplier sets.
@@ -39,7 +42,7 @@
 //! use axrobust::eval::{robustness_grid, EvalOpts};
 //! use axattack::suite::AttackId;
 //! use axdata::mnist::{MnistConfig, SynthMnist};
-//! use axmul::Registry;
+//! use axmul::{MulColumns, Registry};
 //! use axnn::zoo;
 //! use axquant::{Placement, QuantModel};
 //! use axutil::rng::Rng;
@@ -49,8 +52,7 @@
 //! let model = zoo::lenet5(&mut Rng::seed_from_u64(0)); // untrained: demo only
 //! let calib: Vec<_> = (0..4).map(|i| data.image(i).clone()).collect();
 //! let victim = QuantModel::from_float(&model, &calib, Placement::ConvOnly)?;
-//! let reg = Registry::standard();
-//! let muls = vec![("1JFF".to_string(), reg.build_lut("1JFF").unwrap())];
+//! let muls = MulColumns::from_registry(&Registry::standard(), &["1JFF"]);
 //! let grid = robustness_grid(
 //!     &model, &victim, &muls, AttackId::FgmLinf, &data,
 //!     &EvalOpts { eps_grid: vec![0.0, 0.1], n_examples: 8, seed: 1 },
@@ -67,6 +69,7 @@ pub mod eval;
 pub mod experiments;
 pub mod faults;
 pub mod grid;
+pub mod mtd;
 pub mod quantstudy;
 pub mod retrain;
 pub mod store;
@@ -77,4 +80,5 @@ pub mod universal;
 pub use eval::{robustness_grid, EvalOpts};
 pub use faults::{fault_robustness_sweep, FaultReport, FaultSweepOpts};
 pub use grid::RobustnessGrid;
+pub use mtd::{mtd_robustness_sweep, MtdReport, MtdRow, MtdSweepOpts};
 pub use universal::{universal_robustness_sweep, UniversalReport, UniversalSweepOpts};

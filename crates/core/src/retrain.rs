@@ -16,7 +16,7 @@
 
 use axattack::suite::AttackId;
 use axdata::Dataset;
-use axmul::MulLut;
+use axmul::{MulColumns, MulLut};
 use axnn::Sequential;
 use axquant::qtrain::{finetune, FinetuneConfig};
 use axquant::QuantModel;
@@ -107,11 +107,11 @@ impl RetrainReport {
 
 /// Runs the fine-tuning defense sweep.
 ///
-/// `model` is the trained accurate float model; `mults` pairs display
-/// names with inference LUTs. The adversarial set is crafted **once** on
-/// `model` and shared by every victim column, before and after
-/// retraining (the adversary's surrogate does not change when the victim
-/// retrains).
+/// `model` is the trained accurate float model; `mults` is the named
+/// kernel-column set (non-empty by [`MulColumns`] construction). The
+/// adversarial set is crafted **once** on `model` and shared by every
+/// victim column, before and after retraining (the adversary's
+/// surrogate does not change when the victim retrains).
 ///
 /// # Errors
 ///
@@ -119,14 +119,11 @@ impl RetrainReport {
 /// topology or the calibration/evaluation samples are empty.
 pub fn finetuning_sweep(
     model: &Sequential,
-    mults: &[(String, MulLut)],
+    mults: &MulColumns,
     train: &Dataset,
     test: &Dataset,
     opts: &RetrainOpts,
 ) -> Result<RetrainReport, AxError> {
-    if mults.is_empty() {
-        return Err(AxError::config("need at least one victim multiplier"));
-    }
     if train.is_empty() || test.is_empty() {
         return Err(AxError::config("train/test sets must be non-empty"));
     }
@@ -140,7 +137,7 @@ pub fn finetuning_sweep(
     let advs = craft_adversarial_set(model, opts.attack, test, opts.eps, n, opts.seed);
 
     // Baseline: one PTQ victim, every multiplier column in one pass.
-    let kernels: Vec<&MulLut> = mults.iter().map(|(_, lut)| lut).collect();
+    let kernels: Vec<&MulLut> = mults.payloads();
     let ptq = QuantModel::from_float_with_level(model, &calib, opts.cfg.placement, opts.cfg.level)?;
     let clean_before = multi_kernel_adversarial_accuracy(&ptq, &kernels, &clean_set);
     let adv_before = multi_kernel_adversarial_accuracy(&ptq, &kernels, &advs);
@@ -154,7 +151,7 @@ pub fn finetuning_sweep(
         let after = multi_kernel_adversarial_accuracy(&tuned, &[lut], &clean_set);
         let adv_after = multi_kernel_adversarial_accuracy(&tuned, &[lut], &advs);
         rows.push(RetrainRow {
-            mult: name.clone(),
+            mult: name.to_string(),
             clean_before: clean_before[col],
             adv_before: adv_before[col],
             clean_after: after[0],
@@ -205,11 +202,7 @@ mod tests {
     #[test]
     fn sweep_reports_every_multiplier() {
         let (model, train, test) = trained_ffnn();
-        let reg = Registry::standard();
-        let mults = vec![
-            ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
-            ("L40".to_string(), reg.build_lut("L40").unwrap()),
-        ];
+        let mults = MulColumns::from_registry(&Registry::standard(), &["1JFF", "L40"]);
         let opts = RetrainOpts {
             attack: AttackId::FgmLinf,
             n_eval: 30,
@@ -245,9 +238,12 @@ mod tests {
         assert!(text.contains("1JFF") && text.contains("L40"));
     }
 
+    /// The old "empty victim multiplier" config error moved to
+    /// construction: [`MulColumns`] cannot be built without an M1
+    /// baseline column.
     #[test]
-    fn empty_multiplier_set_is_rejected() {
-        let (model, train, test) = trained_ffnn();
-        assert!(finetuning_sweep(&model, &[], &train, &test, &RetrainOpts::default()).is_err());
+    #[should_panic(expected = "at least one")]
+    fn empty_multiplier_set_panics_at_construction() {
+        let _ = MulColumns::from_pairs(Vec::new());
     }
 }

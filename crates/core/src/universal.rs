@@ -21,7 +21,7 @@
 
 use axattack::universal::UniversalAttack;
 use axdata::Dataset;
-use axmul::MulLut;
+use axmul::{MulColumns, MulLut};
 use axnn::Sequential;
 use axquant::qtrain::FinetuneConfig;
 use axquant::universal::{universal_adversarial_fit, UniversalFinetuneConfig};
@@ -129,27 +129,24 @@ impl UniversalReport {
 
 /// Runs the universal-robustness sweep.
 ///
-/// `model` is the trained accurate float model; `mults` pairs display
-/// names with inference LUTs. The universal delta is crafted **once** on
-/// `model` over the first `n_craft` training examples and shared by every
-/// victim column, before and after hardening (the adversary's surrogate
-/// does not change when the victim retrains). Returns the report plus
-/// the crafted delta.
+/// `model` is the trained accurate float model; `mults` is the named
+/// kernel-column set (non-empty by [`MulColumns`] construction). The
+/// universal delta is crafted **once** on `model` over the first
+/// `n_craft` training examples and shared by every victim column, before
+/// and after hardening (the adversary's surrogate does not change when
+/// the victim retrains). Returns the report plus the crafted delta.
 ///
 /// # Errors
 ///
-/// Returns [`AxError::Config`] when `mults` is empty, the datasets are
-/// empty, or quantization rejects the model topology.
+/// Returns [`AxError::Config`] when the datasets are empty or
+/// quantization rejects the model topology.
 pub fn universal_robustness_sweep(
     model: &Sequential,
-    mults: &[(String, MulLut)],
+    mults: &MulColumns,
     train: &Dataset,
     test: &Dataset,
     opts: &UniversalSweepOpts,
 ) -> Result<(UniversalReport, Tensor), AxError> {
-    if mults.is_empty() {
-        return Err(AxError::config("need at least one victim multiplier"));
-    }
     if train.is_empty() || test.is_empty() {
         return Err(AxError::config("train/test sets must be non-empty"));
     }
@@ -178,7 +175,7 @@ pub fn universal_robustness_sweep(
         .collect();
 
     // Baseline: one PTQ victim, every multiplier column in one pass.
-    let kernels: Vec<&MulLut> = mults.iter().map(|(_, lut)| lut).collect();
+    let kernels: Vec<&MulLut> = mults.payloads();
     let ptq = QuantModel::from_float_with_level(model, &calib, opts.cfg.placement, opts.cfg.level)?;
     let clean_before = multi_kernel_adversarial_accuracy(&ptq, &kernels, &clean_set);
     let universal_before = multi_kernel_adversarial_accuracy(&ptq, &kernels, &universal_set);
@@ -200,7 +197,7 @@ pub fn universal_robustness_sweep(
         let clean_after = multi_kernel_adversarial_accuracy(&tuned, &[lut], &clean_set);
         let universal_after = multi_kernel_adversarial_accuracy(&tuned, &[lut], &universal_set);
         rows.push(UniversalRow {
-            mult: name.clone(),
+            mult: name.to_string(),
             clean_before: clean_before[col],
             universal_before: universal_before[col],
             clean_after: clean_after[0],
@@ -274,11 +271,7 @@ mod tests {
     #[test]
     fn sweep_reports_every_multiplier_and_delta_in_ball() {
         let (model, train, test) = trained_ffnn();
-        let reg = Registry::standard();
-        let mults = vec![
-            ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
-            ("L40".to_string(), reg.build_lut("L40").unwrap()),
-        ];
+        let mults = MulColumns::from_registry(&Registry::standard(), &["1JFF", "L40"]);
         let opts = quick_opts();
         let (report, delta) =
             universal_robustness_sweep(&model, &mults, &train, &test, &opts).unwrap();
@@ -304,8 +297,7 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         let (model, train, test) = trained_ffnn();
-        let reg = Registry::standard();
-        let mults = vec![("1JFF".to_string(), reg.build_lut("1JFF").unwrap())];
+        let mults = MulColumns::from_registry(&Registry::standard(), &["1JFF"]);
         let opts = quick_opts();
         let (r1, d1) = universal_robustness_sweep(&model, &mults, &train, &test, &opts).unwrap();
         let (r2, d2) = universal_robustness_sweep(&model, &mults, &train, &test, &opts).unwrap();
@@ -313,16 +305,12 @@ mod tests {
         assert_eq!(d1, d2);
     }
 
+    /// The old "empty victim multiplier" config error moved to
+    /// construction: [`MulColumns`] cannot be built without an M1
+    /// baseline column.
     #[test]
-    fn empty_multiplier_set_is_rejected() {
-        let (model, train, test) = trained_ffnn();
-        assert!(universal_robustness_sweep(
-            &model,
-            &[],
-            &train,
-            &test,
-            &UniversalSweepOpts::default()
-        )
-        .is_err());
+    #[should_panic(expected = "at least one")]
+    fn empty_multiplier_set_panics_at_construction() {
+        let _ = MulColumns::from_pairs(Vec::new());
     }
 }

@@ -5,21 +5,24 @@
 //! approximate victims under a PGD-linf attack, runs a stuck-at
 //! fault-injection campaign over the multiplier circuits, measures
 //! universal-perturbation robustness before vs. after universal
-//! adversarial training, and finishes by standing the quantized model up
-//! behind the batched serving engine.
+//! adversarial training, scores the moving-target kernel ensemble
+//! against static and adaptive (EOT) attackers, and finishes by standing
+//! the quantized model up behind the batched serving engine — with the
+//! ensemble hosted as a server-side kernel.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use axdnn::attack::suite::AttackId;
 use axdnn::data::mnist::{MnistConfig, SynthMnist};
-use axdnn::mul::Registry;
+use axdnn::mul::{MulColumns, Registry};
 use axdnn::nn::train::{fit, TrainConfig};
 use axdnn::nn::zoo;
 use axdnn::quant::qtrain::FinetuneConfig;
-use axdnn::quant::{Placement, QuantModel};
+use axdnn::quant::{KernelPolicy, Placement, QuantModel};
 use axdnn::robust::eval::{robustness_grid, EvalOpts};
-use axdnn::robust::experiments::{run_fault_sweep, run_universal_sweep};
+use axdnn::robust::experiments::{run_fault_sweep, run_mtd_sweep, run_universal_sweep};
 use axdnn::robust::faults::FaultSweepOpts;
+use axdnn::robust::mtd::MtdSweepOpts;
 use axdnn::robust::UniversalSweepOpts;
 use axdnn::serve::{Request, Server, ServerConfig};
 use axdnn::tensor::Tensor;
@@ -64,15 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calib: Vec<Tensor> = (0..32).map(|i| train.image(i).clone()).collect();
     let victim = QuantModel::from_float(&model, &calib, Placement::All)?;
 
-    // 4. Pick multipliers: the accurate 1JFF and the paper's worst part L40.
+    // 4. Pick multipliers: the accurate 1JFF and the paper's worst part
+    // L40. MulColumns pins the accurate baseline as the first column.
     let reg = Registry::standard();
-    let mults = vec![
-        (
-            "1JFF".to_string(),
-            reg.build_lut("1JFF").expect("registered"),
-        ),
-        ("L40".to_string(), reg.build_lut("L40").expect("registered")),
-    ];
+    let mults = MulColumns::from_registry(&reg, &["1JFF", "L40"]);
 
     // 5. Attack with PGD-linf over a small epsilon sweep and report.
     let grid = robustness_grid(
@@ -137,17 +135,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", universal.to_text());
     println!("universal delta linf norm: {:.4}", delta.linf_norm());
 
-    // 8. Serve it: concurrent predicts coalesce into batched passes, with
+    // 8. Moving-target defense: score each fixed kernel and the
+    // randomized per-query ensemble against a static PGD attacker and an
+    // adaptive EOT attacker that averages gradients over the disclosed
+    // kernel distribution.
+    let mtd = run_mtd_sweep(
+        &model,
+        &victim,
+        &test,
+        &["1JFF", "L40"],
+        &MtdSweepOpts {
+            n_eval: 60,
+            samples: 2,
+            ..Default::default()
+        },
+    )?;
+    println!("\n{}", mtd.to_text());
+
+    // 9. Serve it: concurrent predicts coalesce into batched passes, with
     // deadlines, backpressure and panic isolation handled by the server.
+    // The moving-target ensemble is hosted as a kernel of its own; each
+    // response disclosed which member answered.
     let served = QuantModel::from_float(&model, &calib, Placement::All)?;
     let server = Server::builder()
         .model("ffnn", served)
+        .kernel("1JFF", reg.build_lut("1JFF").expect("registered"))
         .kernel("L40", reg.build_lut("L40").expect("registered"))
+        .ensemble("mtd", &["1JFF", "L40"], KernelPolicy::uniform(2, 0xD37))
         .serve(ServerConfig::default());
-    let resp = server.predict(Request::new("ffnn", "L40", test.image(0).clone()))?;
+    let resp = server.predict(Request::new("ffnn", "mtd", test.image(0).clone()))?;
     println!(
-        "\nserved one request through {}: class {} (label {})",
+        "\nserved one request through {} (sampled: {}): class {} (label {})",
         resp.kernel,
+        resp.sampled,
         resp.class,
         test.label(0)
     );

@@ -4,7 +4,7 @@
 use axdnn::attack::suite::AttackId;
 use axdnn::data::mnist::{MnistConfig, SynthMnist};
 use axdnn::data::Dataset;
-use axdnn::mul::Registry;
+use axdnn::mul::{MulColumns, Registry};
 use axdnn::nn::train::{fit, TrainConfig};
 use axdnn::nn::{zoo, Sequential};
 use axdnn::quant::{Placement, QuantModel};
@@ -47,11 +47,7 @@ fn full_pipeline_produces_sound_robustness_grid() {
     let calib: Vec<Tensor> = (0..16).map(|i| train.image(i).clone()).collect();
     let victim = QuantModel::from_float(&model, &calib, Placement::All).unwrap();
     let reg = Registry::standard();
-    let mults = vec![
-        ("1JFF".to_string(), reg.build_lut("1JFF").unwrap()),
-        ("17KS".to_string(), reg.build_lut("17KS").unwrap()),
-        ("L40".to_string(), reg.build_lut("L40").unwrap()),
-    ];
+    let mults = MulColumns::from_registry(&reg, &["1JFF", "17KS", "L40"]);
     let opts = EvalOpts {
         eps_grid: vec![0.0, 0.1, 0.3],
         n_examples: 40,
